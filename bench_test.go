@@ -1,0 +1,197 @@
+// Package pdip's benchmarks regenerate each table and figure of the paper
+// at benchmark scale: one testing.B target per artifact, plus ablation
+// benches for the design choices DESIGN.md calls out and micro-benches for
+// the hot simulator paths.
+//
+// The figure/table benches run a reduced grid (two benchmarks, small
+// instruction budgets) so `go test -bench=.` finishes in minutes; the full
+// 16-benchmark reproduction is `go run ./cmd/experiments -run all`.
+package pdip
+
+import (
+	"testing"
+
+	"pdip/internal/cfg"
+	"pdip/internal/core"
+	"pdip/internal/isa"
+	ipdip "pdip/internal/pdip"
+	"pdip/internal/prefetch"
+	"pdip/internal/trace"
+	"pdip/internal/workload"
+)
+
+func fecBenchEvent(trigger, line uint64) prefetch.RetireEvent {
+	return prefetch.RetireEvent{
+		Line:           isa.Addr(line),
+		Missed:         true,
+		FEC:            true,
+		HighCost:       true,
+		BackendEmpty:   true,
+		StarveCycles:   20,
+		ResteerTrigger: isa.Addr(trigger),
+	}
+}
+
+func addr(a uint64) isa.Addr { return isa.Addr(a) }
+
+// benchOptions is the reduced grid used by the per-figure benches.
+func benchOptions() Options {
+	return Options{
+		Warmup:     30_000,
+		Measure:    80_000,
+		Benchmarks: []string{"kafka", "speedometer2.0"},
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(0)
+		if _, err := e.Run(r, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1TopDown(b *testing.B)              { benchExperiment(b, "fig1") }
+func BenchmarkFig3PriorTechniques(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig4FECBreakdown(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFig9MPKI(b *testing.B)                 { benchExperiment(b, "fig9") }
+func BenchmarkFig10Speedup(b *testing.B)             { benchExperiment(b, "fig10") }
+func BenchmarkFig11LatePrefetch(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkTable4Accuracy(b *testing.B)           { benchExperiment(b, "tab4") }
+func BenchmarkFig12FECStallReduction(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13TableSensitivity(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkTable5EnergyArea(b *testing.B)         { benchExperiment(b, "tab5") }
+func BenchmarkFig16TriggerDistribution(b *testing.B) { benchExperiment(b, "fig16") }
+
+// Fig 14/15 sweep six BTB sizes; bench a two-point subset.
+func BenchmarkFig14BTBSensitivity(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(0)
+		for _, btb := range []int{4096, 8192} {
+			for _, bench := range o.Benchmarks {
+				for _, pol := range []string{"baseline", "pdip44"} {
+					if _, err := r.Run(RunSpec{
+						Benchmark: bench, Policy: pol,
+						Warmup: o.Warmup, Measure: o.Measure, BTBEntries: btb,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig15StorageFrontier(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(0)
+		for _, btb := range []int{4096, 16384} {
+			for _, bench := range o.Benchmarks {
+				for _, pol := range []string{"baseline", "pdip11", "eip46"} {
+					if _, err := r.Run(RunSpec{
+						Benchmark: bench, Policy: pol,
+						Warmup: o.Warmup, Measure: o.Measure, BTBEntries: btb,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md §6) ---
+
+func benchPolicyPair(b *testing.B, a, c string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []string{a, c} {
+			if _, err := Run(RunSpec{
+				Benchmark: "kafka", Policy: pol,
+				Warmup: 30_000, Measure: 80_000,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationInsertProb compares the paper's 0.25 insertion filter
+// against insert-always (§5.3).
+func BenchmarkAblationInsertProb(b *testing.B) { benchPolicyPair(b, "pdip44", "pdip44-insert100") }
+
+// BenchmarkAblationCandidateFilter compares high-cost+back-end-stall
+// candidate selection against all-FEC insertion (§4.1/§5.3).
+func BenchmarkAblationCandidateFilter(b *testing.B) { benchPolicyPair(b, "pdip44", "pdip44-allfec") }
+
+// BenchmarkAblationMask compares the 4-bit following-blocks mask against
+// single-line targets (§5.1).
+func BenchmarkAblationMask(b *testing.B) { benchPolicyPair(b, "pdip44", "pdip44-nomask") }
+
+// BenchmarkAblationReturnTriggers compares §5.2's return exclusion.
+func BenchmarkAblationReturnTriggers(b *testing.B) { benchPolicyPair(b, "pdip44", "pdip44-returns") }
+
+// BenchmarkAblationPQReserve compares the 2-MSHR demand reserve of §5.
+func BenchmarkAblationPQReserve(b *testing.B) { benchPolicyPair(b, "pdip44", "pdip44-reserve0") }
+
+// BenchmarkAblationFDIP measures the value of the decoupled front-end
+// itself (§6.2: FDIP is worth 27.1% over a coupled core).
+func BenchmarkAblationFDIP(b *testing.B) { benchPolicyPair(b, "baseline", "no-fdip") }
+
+// --- simulator micro-benches ---
+
+// BenchmarkSimulatorThroughput measures raw simulated instructions/second
+// on the baseline machine (reported as ns/op for one instruction).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof, err := workload.ByName("cassandra")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := prof.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.DefaultConfig()
+	c.Seed = 1
+	co := core.MustNew(prog, c)
+	b.ResetTimer()
+	if err := co.Run(uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWalker measures the synthetic trace generator alone.
+func BenchmarkWalker(b *testing.B) {
+	p := cfg.DefaultParams()
+	p.NumFuncs = 512
+	prog := cfg.MustGenerate(p)
+	w := trace.New(prog, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Next()
+	}
+}
+
+// BenchmarkPDIPTable measures table insert+lookup cost.
+func BenchmarkPDIPTable(b *testing.B) {
+	pc := ipdip.DefaultConfig()
+	pc.InsertProb = 1.0
+	pc.RequireHighCost = false
+	p := ipdip.New(pc)
+	reqs := p.OnFTQInsert(0x1000, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trig := 0x1000 + uint64(i%4096)*64
+		p.OnLineRetired(fecBenchEvent(trig, trig+0x40000))
+		reqs = p.OnFTQInsert(addr(trig), reqs[:0])
+	}
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run fig10                # one artifact
+//	experiments -run all                  # everything (minutes)
+//	experiments -run fig9 -quick          # reduced instruction budgets
+//	experiments -run fig10 -benchmarks cassandra,tpcc,verilator
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pdip"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "", "experiment id (fig1, fig3, fig4, fig9, fig10, fig11, tab4, fig12, fig13, tab5, fig14, fig15, fig16) or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "reduced instruction budgets (smoke scale)")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions")
+		measure  = flag.Uint64("measure", 0, "override measured instructions")
+		benchCSV = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
+		par      = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range pdip.Experiments() {
+			fmt.Printf("  %-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	o := pdip.DefaultOptions()
+	if *quick {
+		o = pdip.QuickOptions()
+	}
+	if *warmup > 0 {
+		o.Warmup = *warmup
+	}
+	if *measure > 0 {
+		o.Measure = *measure
+	}
+	if *benchCSV != "" {
+		o.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+	o.Parallelism = *par
+
+	runner := pdip.NewRunner(*par)
+	if *run == "all" {
+		for _, e := range pdip.Experiments() {
+			out, err := e.Run(runner, o)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", e.ID+":", err)
+				os.Exit(1)
+			}
+			fmt.Println("== " + e.Title + " ==")
+			fmt.Println(out)
+		}
+		return
+	}
+	e, err := pdip.ExperimentByID(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	out, err := e.Run(runner, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== " + e.Title + " ==")
+	fmt.Println(out)
+}

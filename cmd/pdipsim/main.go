@@ -1,0 +1,103 @@
+// Command pdipsim runs one benchmark under one policy and prints the full
+// statistics dump — the single-run front-end of the simulator.
+//
+// Usage:
+//
+//	pdipsim -bench cassandra -policy pdip44
+//	pdipsim -list-benchmarks
+//	pdipsim -list-policies
+//	pdipsim -print-config
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pdip"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "cassandra", "benchmark name (see -list-benchmarks)")
+		jsonOut  = flag.Bool("json", false, "emit the raw statistics snapshot as JSON")
+		pol      = flag.String("policy", "baseline", "policy name (see -list-policies)")
+		warmup   = flag.Uint64("warmup", 300_000, "warmup instructions (stats discarded)")
+		measure  = flag.Uint64("measure", 1_000_000, "measured instructions")
+		btb      = flag.Int("btb", 0, "override BTB entry count (0 = Table 1 default)")
+		listB    = flag.Bool("list-benchmarks", false, "print Table 2 benchmark registry and exit")
+		listP    = flag.Bool("list-policies", false, "print Table 3 policy registry and exit")
+		printCfg = flag.Bool("print-config", false, "print the Table 1 baseline configuration and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *listB:
+		fmt.Printf("%-16s %-12s %s\n", "BENCHMARK", "SUITE", "DESCRIPTION")
+		for _, p := range pdip.Benchmarks() {
+			fmt.Printf("%-16s %-12s %s\n", p.Name, p.Suite, p.Description)
+		}
+		return
+	case *listP:
+		fmt.Printf("%-24s %s\n", "POLICY", "DESCRIPTION")
+		for _, p := range pdip.Policies() {
+			fmt.Printf("%-24s %s\n", p.Name, p.Description)
+		}
+		return
+	case *printCfg:
+		c := pdip.DefaultCoreConfig()
+		fmt.Printf("L1I: %dKB %d-way, %d-cycle hit, %d MSHR\n", c.Mem.L1I.SizeBytes>>10, c.Mem.L1I.Ways, c.Mem.L1I.HitLatency, c.Mem.L1I.MSHRs)
+		fmt.Printf("L1D: %dKB %d-way, %d-cycle hit, %d MSHR\n", c.Mem.L1D.SizeBytes>>10, c.Mem.L1D.Ways, c.Mem.L1D.HitLatency, c.Mem.L1D.MSHRs)
+		fmt.Printf("L2:  %dKB %d-way, %d-cycle hit, %d MSHR\n", c.Mem.L2.SizeBytes>>10, c.Mem.L2.Ways, c.Mem.L2.HitLatency, c.Mem.L2.MSHRs)
+		fmt.Printf("L3:  %dKB %d-way, %d-cycle hit, %d MSHR\n", c.Mem.L3.SizeBytes>>10, c.Mem.L3.Ways, c.Mem.L3.HitLatency, c.Mem.L3.MSHRs)
+		fmt.Printf("DRAM latency: %d cycles\n", c.Mem.DRAMLatency)
+		fmt.Printf("BTB: %d entries; FTQ: %d entries; PQ: %d lines\n", c.BPU.BTBEntries, c.FTQDepth, c.PQDepth)
+		fmt.Printf("Decode/Retire: %d-wide; ROB: %d entries\n", c.DecodeWidth, c.ROBSize)
+		return
+	}
+
+	res, err := pdip.Run(pdip.RunSpec{
+		Benchmark:  *bench,
+		Policy:     *pol,
+		Warmup:     *warmup,
+		Measure:    *measure,
+		BTBEntries: *btb,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdipsim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Res); err != nil {
+			fmt.Fprintln(os.Stderr, "pdipsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	r := &res.Res
+	c := &r.Core
+	ret, fe, bs, be := c.TopDown.Shares()
+	fmt.Printf("benchmark=%s policy=%s (%s, %.1fKB prefetch metadata, %.1fKB BTB)\n",
+		*bench, *pol, r.PrefetcherName, r.PrefetcherKB, r.BTBKB)
+	fmt.Printf("instructions: %d   cycles: %d   IPC: %.3f\n", c.Instructions, c.Cycles, r.IPC())
+	fmt.Printf("top-down: retiring %.1f%%  front-end %.1f%%  bad-spec %.1f%%  back-end %.1f%%\n",
+		ret*100, fe*100, bs*100, be*100)
+	fmt.Printf("MPKI: L1I %.1f  L2I %.1f  L2D %.1f  L3 %.1f\n", r.L1IMPKI(), r.L2IMPKI(), r.L2DMPKI(), r.L3MPKI())
+	fmt.Printf("resteers/KI: mispredict %.2f  btb-miss %.2f  return %.2f\n",
+		c.PerKilo(c.ResteerMispredict), c.PerKilo(c.ResteerBTBMiss), c.PerKilo(c.ResteerReturn))
+	fmt.Printf("decode starvation: %d cycles (%.1f%% of cycles), FEC share %.1f%%\n",
+		c.DecodeStarvedCycles, float64(c.DecodeStarvedCycles)/float64(c.Cycles)*100, r.FECStallShare()*100)
+	fmt.Printf("FEC: %.2f%% of retired line episodes (%d episodes; %d high-cost, %d with back-end stall)\n",
+		r.FECLinePct()*100, c.FECLines, c.HighCostFECLines, c.HighCostBackend)
+	if r.PQ.Issued > 0 {
+		mp, lt := r.TriggerDistribution()
+		fmt.Printf("prefetch: PPKI %.1f  accuracy %.1f%%  late %.1f%%  useless/KI %.1f  triggers %.0f%%/%.0f%% (mispredict/last-taken)\n",
+			r.PPKI(), r.PrefetchAccuracy()*100, r.LatePrefetchRate()*100, r.UselessPrefetchPKI(), mp*100, lt*100)
+	}
+	fmt.Printf("BPU: cond mispredict %.2f/KI  BTB-missed taken %.2f/KI  ind mispredict %.2f/KI\n",
+		c.PerKilo(r.BPU.CondMispredict), c.PerKilo(r.BPU.BTBMissTaken), c.PerKilo(r.BPU.IndMispredict))
+}

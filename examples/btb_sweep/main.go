@@ -1,0 +1,36 @@
+// BTB sweep: a Figure 14-style study on one benchmark — how much of the
+// front-end bottleneck is BTB capacity, and what PDIP adds at each size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdip"
+)
+
+func main() {
+	const bench = "tpcc"
+	o := pdip.QuickOptions()
+	fmt.Printf("%-12s %10s %14s %14s\n", "BTB entries", "base IPC", "pdip44 gain", "btb-miss/KI")
+	for _, entries := range []int{4096, 8192, 16384, 32768} {
+		base, err := pdip.Run(pdip.RunSpec{
+			Benchmark: bench, Policy: "baseline",
+			Warmup: o.Warmup, Measure: o.Measure, BTBEntries: entries,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		withPDIP, err := pdip.Run(pdip.RunSpec{
+			Benchmark: bench, Policy: "pdip44",
+			Warmup: o.Warmup, Measure: o.Measure, BTBEntries: entries,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain := withPDIP.Res.IPC()/base.Res.IPC() - 1
+		fmt.Printf("%-12d %10.3f %13.2f%% %14.2f\n",
+			entries, base.Res.IPC(), gain*100,
+			base.Res.Core.PerKilo(base.Res.Core.ResteerBTBMiss))
+	}
+}

@@ -1,0 +1,55 @@
+// Custom workload: author a synthetic profile from scratch — a small,
+// loop-heavy "microservice" — and measure how the FDIP front-end and PDIP
+// behave on it. This is the path for studying workloads the paper did not
+// include.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdip"
+	ipdip "pdip/internal/pdip"
+)
+
+func main() {
+	// Start from a known profile and reshape it: a smaller footprint,
+	// longer basic blocks, and more hard (data-dependent) branches.
+	prof, err := pdip.BenchmarkByName("ycsb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof.Name = "my-microservice"
+	prof.Description = "hand-built profile: small hot footprint, branchy parsing"
+	prof.CFG.Seed = 424242
+	prof.CFG.NumFuncs = 1200
+	prof.CFG.BlocksPerFuncMean = 16
+	prof.CFG.HardBranchFrac = 0.12
+	prof.CFG.HardBias = 0.65
+	prof.MemOpFrac = 0.25
+
+	warmup, measure := uint64(100_000), uint64(300_000)
+
+	base := pdip.DefaultCoreConfig()
+	base.Seed = prof.CFG.Seed
+	rBase, err := pdip.RunProfile(prof, base, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	withPDIP := pdip.DefaultCoreConfig()
+	withPDIP.Seed = prof.CFG.Seed
+	pc := ipdip.DefaultConfig()
+	pc.Seed = prof.CFG.Seed
+	withPDIP.Prefetcher = ipdip.New(pc)
+	rPDIP, err := pdip.RunProfile(prof, withPDIP, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("profile %q: %d funcs, footprint pressure L1I MPKI %.1f\n",
+		prof.Name, prof.CFG.NumFuncs, rBase.L1IMPKI())
+	fmt.Printf("baseline IPC %.3f; with PDIP(44): IPC %.3f (%+.2f%%), PPKI %.1f, accuracy %.1f%%\n",
+		rBase.IPC(), rPDIP.IPC(), (rPDIP.IPC()/rBase.IPC()-1)*100,
+		rPDIP.PPKI(), rPDIP.PrefetchAccuracy()*100)
+}

@@ -1,0 +1,42 @@
+// Policy comparison: a Figure 10-style speedup table over a benchmark
+// subset, using the memoising runner so the baselines are shared.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdip"
+)
+
+func main() {
+	benches := []string{"cassandra", "tpcc", "verilator"}
+	policies := []string{"2x-il1", "emissary", "eip46", "pdip44", "pdip44+emissary", "fec-ideal"}
+	o := pdip.QuickOptions()
+	runner := pdip.NewRunner(0)
+
+	fmt.Printf("%-12s", "benchmark")
+	for _, p := range policies {
+		fmt.Printf("  %16s", p)
+	}
+	fmt.Println()
+
+	geo := make(map[string][]float64)
+	for _, b := range benches {
+		base, err := pdip.Run(pdip.RunSpec{Benchmark: b, Policy: "baseline", Warmup: o.Warmup, Measure: o.Measure})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s", b)
+		for _, p := range policies {
+			res, err := runner.Run(pdip.RunSpec{Benchmark: b, Policy: p, Warmup: o.Warmup, Measure: o.Measure})
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := res.Res.IPC()/base.Res.IPC() - 1
+			geo[p] = append(geo[p], s)
+			fmt.Printf("  %15.2f%%", s*100)
+		}
+		fmt.Println()
+	}
+}

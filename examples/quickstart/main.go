@@ -1,0 +1,39 @@
+// Quickstart: simulate one server benchmark on the FDIP baseline and with
+// the PDIP(44) prefetcher, and report the headline metrics the paper uses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdip"
+)
+
+func main() {
+	const bench = "cassandra"
+	budgets := pdip.QuickOptions()
+
+	base, err := pdip.Run(pdip.RunSpec{
+		Benchmark: bench, Policy: "baseline",
+		Warmup: budgets.Warmup, Measure: budgets.Measure,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	withPDIP, err := pdip.Run(pdip.RunSpec{
+		Benchmark: bench, Policy: "pdip44",
+		Warmup: budgets.Warmup, Measure: budgets.Measure,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b, p := &base.Res, &withPDIP.Res
+	fmt.Printf("benchmark: %s\n", bench)
+	fmt.Printf("baseline:  IPC %.3f, L1I MPKI %.1f, FEC lines %.1f%% of episodes causing %.1f%% of decode starvation\n",
+		b.IPC(), b.L1IMPKI(), b.FECLinePct()*100, b.FECStallShare()*100)
+	fmt.Printf("pdip44:    IPC %.3f (%+.2f%%), PPKI %.1f, accuracy %.1f%%, late %.1f%%\n",
+		p.IPC(), (p.IPC()/b.IPC()-1)*100, p.PPKI(), p.PrefetchAccuracy()*100, p.LatePrefetchRate()*100)
+	mp, lt := p.TriggerDistribution()
+	fmt.Printf("           trigger mix: %.0f%% mispredict / %.0f%% last-taken\n", mp*100, lt*100)
+}

@@ -1,0 +1,3 @@
+module pdip
+
+go 1.22

@@ -1,0 +1,283 @@
+package bpu
+
+import (
+	"testing"
+
+	"pdip/internal/isa"
+	"pdip/internal/rng"
+)
+
+// --- TAGE ---
+
+func TestTAGELearnsBias(t *testing.T) {
+	tg := NewTAGE()
+	pc := isa.Addr(0x1000)
+	correct := 0
+	r := rng.New(1)
+	n := 20000
+	for i := 0; i < n; i++ {
+		taken := r.Bool(0.9)
+		if tg.Predict(pc) == taken {
+			correct++
+		}
+		tg.Update(pc, taken)
+	}
+	// A 90%-biased branch should be predicted at least ~85% right.
+	if frac := float64(correct) / float64(n); frac < 0.85 {
+		t.Fatalf("TAGE accuracy %.2f on a 0.9-biased branch", frac)
+	}
+}
+
+func TestTAGELearnsPattern(t *testing.T) {
+	// A fixed short repeating pattern is history-predictable: TAGE must
+	// beat the bimodal ceiling (the pattern is 2/3 taken).
+	tg := NewTAGE()
+	pc := isa.Addr(0x2040)
+	pattern := []bool{true, true, false}
+	correct := 0
+	n := 30000
+	for i := 0; i < n; i++ {
+		taken := pattern[i%len(pattern)]
+		if tg.Predict(pc) == taken {
+			correct++
+		}
+		tg.Update(pc, taken)
+	}
+	if frac := float64(correct) / float64(n); frac < 0.95 {
+		t.Fatalf("TAGE accuracy %.3f on a deterministic pattern, want >= 0.95", frac)
+	}
+}
+
+func TestTAGELearnsLoopTrip(t *testing.T) {
+	// Loop with trip count 5: taken 4×, not-taken once, repeating.
+	tg := NewTAGE()
+	pc := isa.Addr(0x3700)
+	correct, n := 0, 25000
+	for i := 0; i < n; i++ {
+		taken := i%5 != 4
+		if tg.Predict(pc) == taken {
+			correct++
+		}
+		tg.Update(pc, taken)
+	}
+	if frac := float64(correct) / float64(n); frac < 0.9 {
+		t.Fatalf("TAGE accuracy %.3f on a trip-5 loop, want >= 0.9", frac)
+	}
+}
+
+func TestTAGEMultipleBranches(t *testing.T) {
+	// Two interleaved branches with opposite biases must not destroy each
+	// other's state.
+	tg := NewTAGE()
+	a, b := isa.Addr(0x4000), isa.Addr(0x5000)
+	okA, okB, n := 0, 0, 10000
+	for i := 0; i < n; i++ {
+		if tg.Predict(a) == true {
+			okA++
+		}
+		tg.Update(a, true)
+		if tg.Predict(b) == false {
+			okB++
+		}
+		tg.Update(b, false)
+	}
+	if okA < n*9/10 || okB < n*9/10 {
+		t.Fatalf("interleaved branches: %d/%d and %d/%d correct", okA, n, okB, n)
+	}
+}
+
+// --- ITTAGE ---
+
+func TestITTAGELearnsStableTarget(t *testing.T) {
+	it := NewITTAGE()
+	pc := isa.Addr(0x6000)
+	target := isa.Addr(0x9999c0)
+	correct, n := 0, 5000
+	for i := 0; i < n; i++ {
+		if got, ok := it.Predict(pc); ok && got == target {
+			correct++
+		}
+		it.Update(pc, target)
+	}
+	if frac := float64(correct) / float64(n); frac < 0.95 {
+		t.Fatalf("ITTAGE accuracy %.3f on a monomorphic site", frac)
+	}
+}
+
+func TestITTAGESkewedTargets(t *testing.T) {
+	it := NewITTAGE()
+	pc := isa.Addr(0x7000)
+	dom, minor := isa.Addr(0xaaaa00), isa.Addr(0xbbbb00)
+	r := rng.New(2)
+	correct, n := 0, 20000
+	for i := 0; i < n; i++ {
+		tgt := dom
+		if !r.Bool(0.85) {
+			tgt = minor
+		}
+		if got, ok := it.Predict(pc); ok && got == tgt {
+			correct++
+		}
+		it.Update(pc, tgt)
+	}
+	// Must at least track the dominant target.
+	if frac := float64(correct) / float64(n); frac < 0.7 {
+		t.Fatalf("ITTAGE accuracy %.3f on an 85%%-skewed site", frac)
+	}
+}
+
+// --- BTB ---
+
+func TestBTBInsertLookup(t *testing.T) {
+	b := NewBTB(1024)
+	pc, tgt := isa.Addr(0x1234), isa.Addr(0x5678)
+	if _, _, hit := b.Lookup(pc); hit {
+		t.Fatal("empty BTB hit")
+	}
+	b.Insert(pc, tgt, isa.UncondDirect)
+	got, kind, hit := b.Lookup(pc)
+	if !hit || got != tgt || kind != isa.UncondDirect {
+		t.Fatalf("lookup after insert: hit=%v target=%v kind=%v", hit, got, kind)
+	}
+}
+
+func TestBTBUpdateExisting(t *testing.T) {
+	b := NewBTB(1024)
+	pc := isa.Addr(0x40)
+	b.Insert(pc, 0x100, isa.IndirectJump)
+	b.Insert(pc, 0x200, isa.IndirectJump)
+	got, _, hit := b.Lookup(pc)
+	if !hit || got != 0x200 {
+		t.Fatalf("update did not replace target: %v", got)
+	}
+}
+
+func TestBTBCapacityEviction(t *testing.T) {
+	b := NewBTB(64) // 8 sets × 8 ways
+	// Insert 9 branches mapping to the same set; the LRU one must go.
+	setStride := isa.Addr(8 << 1) // set index uses pc>>1 & mask
+	base := isa.Addr(0x1000)
+	for i := 0; i < 9; i++ {
+		b.Insert(base+isa.Addr(i)*setStride*isa.Addr(b.Entries()/8), 0x42, isa.UncondDirect)
+	}
+	hits := 0
+	for i := 0; i < 9; i++ {
+		if _, _, hit := b.Lookup(base + isa.Addr(i)*setStride*isa.Addr(b.Entries()/8)); hit {
+			hits++
+		}
+	}
+	if hits > 8 {
+		t.Fatalf("9 conflicting entries all resident in an 8-way set (%d hits)", hits)
+	}
+}
+
+func TestBTBStorage(t *testing.T) {
+	b := NewBTB(8192)
+	kb := b.StorageKB()
+	// Table 1: 8K entries = 119.01KB.
+	if kb < 118 || kb > 120 {
+		t.Fatalf("8K-entry BTB storage %.2fKB, want ≈119KB", kb)
+	}
+}
+
+func TestBTBInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two set count accepted")
+		}
+	}()
+	NewBTB(24) // 3 sets: not a power of two
+}
+
+// --- RAS ---
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(0x10)
+	r.Push(0x20)
+	if v, ok := r.Pop(); !ok || v != 0x20 {
+		t.Fatalf("pop = %v, %v", v, ok)
+	}
+	if v, ok := r.Pop(); !ok || v != 0x10 {
+		t.Fatalf("pop = %v, %v", v, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop on empty RAS succeeded")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites oldest
+	if v, _ := r.Pop(); v != 3 {
+		t.Fatalf("top after overflow = %v", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Fatalf("second after overflow = %v", v)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("depth not clamped at capacity")
+	}
+}
+
+// --- composite BPU ---
+
+func TestBPUBTBMissMeansFallThrough(t *testing.T) {
+	b := New(DefaultConfig())
+	in := isa.Inst{PC: 0x100, Size: 4, Kind: isa.UncondDirect, Taken: true, Target: 0x2000}
+	p := b.PredictAndTrain(in)
+	if p.Taken || p.BTBHit {
+		t.Fatal("first sight of a branch predicted taken despite BTB miss")
+	}
+	// Trained: second occurrence must hit and be correct.
+	p = b.PredictAndTrain(in)
+	if !p.BTBHit || !p.Taken || p.Target != 0x2000 {
+		t.Fatalf("after training: %+v", p)
+	}
+}
+
+func TestBPUReturnUsesRAS(t *testing.T) {
+	b := New(DefaultConfig())
+	call := isa.Inst{PC: 0x100, Size: 5, Kind: isa.DirectCall, Taken: true, Target: 0x3000}
+	ret := isa.Inst{PC: 0x3010, Size: 1, Kind: isa.Return, Taken: true, Target: 0x105}
+	// Train the BTB entries once.
+	b.PredictAndTrain(call)
+	b.PredictAndTrain(ret)
+	// Second round: the return must be predicted from the RAS.
+	b.PredictAndTrain(call)
+	p := b.PredictAndTrain(ret)
+	if !p.Taken || p.Target != 0x105 {
+		t.Fatalf("return prediction: %+v, want target 0x105", p)
+	}
+}
+
+func TestBPUStats(t *testing.T) {
+	b := New(DefaultConfig())
+	in := isa.Inst{PC: 0x40, Size: 2, Kind: isa.CondDirect, Taken: true, Target: 0x400}
+	for i := 0; i < 10; i++ {
+		b.PredictAndTrain(in)
+	}
+	if b.Stats.CondBranches != 10 {
+		t.Fatalf("CondBranches = %d", b.Stats.CondBranches)
+	}
+	if b.Stats.BTBMissTaken == 0 {
+		t.Fatal("first taken occurrence not counted as BTB miss")
+	}
+}
+
+func TestBPUConditionalTraining(t *testing.T) {
+	b := New(DefaultConfig())
+	in := isa.Inst{PC: 0x80, Size: 2, Kind: isa.CondDirect, Taken: true, Target: 0x800}
+	misses := 0
+	for i := 0; i < 2000; i++ {
+		p := b.PredictAndTrain(in)
+		if !p.Taken || p.Target != 0x800 {
+			misses++
+		}
+	}
+	if misses > 100 {
+		t.Fatalf("%d/2000 mispredicts on an always-taken branch", misses)
+	}
+}

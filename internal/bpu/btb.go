@@ -1,0 +1,166 @@
+package bpu
+
+import "pdip/internal/isa"
+
+// btbWays is the BTB associativity; capacity is varied by set count.
+const btbWays = 8
+
+// BTBEntryBits is the storage cost of one BTB entry in bits, chosen so an
+// 8K-entry BTB costs 119.01KB as reported in the paper's Table 1.
+const BTBEntryBits = 119
+
+// btbEntry holds one taken branch: full tag (upper PC bits), target, and
+// the branch kind so the IAG knows which predictor supplies the target.
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target isa.Addr
+	kind   isa.BranchKind
+	lru    uint32
+}
+
+// BTB is a set-associative branch target buffer indexed by branch PC. The
+// IAG discovers branches in the predicted stream through the BTB: a taken
+// branch missing here is invisible to the front-end until decode or
+// execute, which is the paper's "BTB miss" resteer class.
+type BTB struct {
+	sets     [][]btbEntry
+	setShift uint
+	setMask  uint64
+	tick     uint32
+
+	lookups, hits uint64
+}
+
+// NewBTB creates a BTB with the given total entry count, which must be a
+// multiple of the fixed 8-way associativity and a power of two.
+func NewBTB(entries int) *BTB {
+	if entries < btbWays {
+		entries = btbWays
+	}
+	numSets := entries / btbWays
+	if numSets&(numSets-1) != 0 {
+		panic("bpu: BTB entry count / 8 must be a power of two")
+	}
+	b := &BTB{
+		sets:     make([][]btbEntry, numSets),
+		setShift: 1, // branch PCs are at least 2-byte aligned in practice
+		setMask:  uint64(numSets - 1),
+	}
+	backing := make([]btbEntry, numSets*btbWays)
+	for i := range b.sets {
+		b.sets[i] = backing[i*btbWays : (i+1)*btbWays]
+	}
+	return b
+}
+
+// Entries returns the total entry capacity.
+func (b *BTB) Entries() int { return len(b.sets) * btbWays }
+
+// StorageKB returns the BTB storage in kilobytes (Table 1 accounting).
+func (b *BTB) StorageKB() float64 {
+	return float64(b.Entries()*BTBEntryBits) / 8192.0
+}
+
+func (b *BTB) setOf(pc isa.Addr) (int, uint64) {
+	v := uint64(pc) >> b.setShift
+	return int(v & b.setMask), v >> uint(popcount(b.setMask))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Lookup probes the BTB for a branch at pc. On a hit it returns the stored
+// target and branch kind.
+func (b *BTB) Lookup(pc isa.Addr) (target isa.Addr, kind isa.BranchKind, hit bool) {
+	b.lookups++
+	set, tag := b.setOf(pc)
+	for i := range b.sets[set] {
+		e := &b.sets[set][i]
+		if e.valid && e.tag == tag {
+			b.tick++
+			e.lru = b.tick
+			b.hits++
+			return e.target, e.kind, true
+		}
+	}
+	return 0, isa.NotBranch, false
+}
+
+// Insert installs or updates the entry for a taken branch at pc.
+func (b *BTB) Insert(pc isa.Addr, target isa.Addr, kind isa.BranchKind) {
+	set, tag := b.setOf(pc)
+	b.tick++
+	victim := 0
+	var oldest uint32 = ^uint32(0)
+	for i := range b.sets[set] {
+		e := &b.sets[set][i]
+		if e.valid && e.tag == tag {
+			e.target = target
+			e.kind = kind
+			e.lru = b.tick
+			return
+		}
+		if !e.valid {
+			victim = i
+			oldest = 0
+			continue
+		}
+		if e.lru < oldest {
+			victim, oldest = i, e.lru
+		}
+	}
+	b.sets[set][victim] = btbEntry{valid: true, tag: tag, target: target, kind: kind, lru: b.tick}
+}
+
+// HitRate returns the fraction of lookups that hit, for diagnostics.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+// RAS is a fixed-depth circular return address stack. Pushing beyond the
+// capacity silently overwrites the oldest frame, so deeply nested call
+// chains produce return mispredicts exactly as in hardware.
+type RAS struct {
+	entries []isa.Addr
+	top     int // index of the current top
+	depth   int // live entries, capped at len(entries)
+}
+
+// NewRAS returns a RAS with the given capacity.
+func NewRAS(capacity int) *RAS {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &RAS{entries: make([]isa.Addr, capacity)}
+}
+
+// Push records a return address.
+func (r *RAS) Push(addr isa.Addr) {
+	r.top = (r.top + 1) % len(r.entries)
+	r.entries[r.top] = addr
+	if r.depth < len(r.entries) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. With an empty (or overflowed) stack
+// it returns 0, false.
+func (r *RAS) Pop() (isa.Addr, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr := r.entries[r.top]
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.depth--
+	return addr, true
+}

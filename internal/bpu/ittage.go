@@ -1,0 +1,154 @@
+package bpu
+
+import "pdip/internal/isa"
+
+// ittageTables is the number of tagged ITTAGE components.
+const ittageTables = 5
+
+var ittageHistLens = [ittageTables]int{6, 14, 32, 72, 160}
+
+const (
+	ittageTagBits   = 11
+	ittageEntryBits = 9 // 512 entries per tagged table
+	ittageBaseBits  = 11
+)
+
+type ittageEntry struct {
+	tag    uint16
+	target isa.Addr
+	ctr    int8 // confidence, 0..3
+	useful uint8
+}
+
+// ITTAGE predicts indirect branch targets with the same tagged geometric
+// history organisation as TAGE (Seznec's ITTAGE), storing full targets in
+// each entry plus a small tagless base table.
+type ITTAGE struct {
+	base    []isa.Addr // tagless last-target base table
+	tables  [ittageTables][]ittageEntry
+	hist    history
+	idxFold [ittageTables]foldedHist
+	tagFold [ittageTables]foldedHist
+
+	allocSeed uint64
+}
+
+// NewITTAGE returns an ITTAGE predictor with the default (≈64KB-class)
+// geometry.
+func NewITTAGE() *ITTAGE {
+	it := &ITTAGE{base: make([]isa.Addr, 1<<ittageBaseBits)}
+	for i := range it.tables {
+		it.tables[i] = make([]ittageEntry, 1<<ittageEntryBits)
+		it.idxFold[i] = newFolded(ittageHistLens[i], ittageEntryBits)
+		it.tagFold[i] = newFolded(ittageHistLens[i], ittageTagBits)
+	}
+	return it
+}
+
+func (it *ITTAGE) index(table int, pc isa.Addr) int {
+	v := uint32(pc>>1) ^ uint32(pc>>(1+ittageEntryBits)) ^ it.idxFold[table].comp ^ uint32(table*0x51ed)
+	return int(v & ((1 << ittageEntryBits) - 1))
+}
+
+func (it *ITTAGE) tag(table int, pc isa.Addr) uint16 {
+	v := uint32(pc>>1) ^ it.tagFold[table].comp ^ uint32(table*0x2c1b)
+	return uint16(v & ((1 << ittageTagBits) - 1))
+}
+
+func (it *ITTAGE) baseIndex(pc isa.Addr) int {
+	return int((pc >> 1) & ((1 << ittageBaseBits) - 1))
+}
+
+// Predict returns the predicted target for the indirect branch at pc and
+// whether any component produced a prediction.
+func (it *ITTAGE) Predict(pc isa.Addr) (isa.Addr, bool) {
+	for i := ittageTables - 1; i >= 0; i-- {
+		e := &it.tables[i][it.index(i, pc)]
+		if e.tag == it.tag(i, pc) && e.target != 0 {
+			return e.target, true
+		}
+	}
+	if t := it.base[it.baseIndex(pc)]; t != 0 {
+		return t, true
+	}
+	return 0, false
+}
+
+// Update trains the predictor with the actual target and shifts history.
+func (it *ITTAGE) Update(pc isa.Addr, target isa.Addr) {
+	provider := -1
+	var pidx int
+	for i := ittageTables - 1; i >= 0; i-- {
+		idx := it.index(i, pc)
+		e := &it.tables[i][idx]
+		if e.tag == it.tag(i, pc) && e.target != 0 {
+			provider, pidx = i, idx
+			break
+		}
+	}
+
+	correct := false
+	if provider >= 0 {
+		e := &it.tables[provider][pidx]
+		correct = e.target == target
+		if correct {
+			if e.ctr < 3 {
+				e.ctr++
+			}
+			if e.useful < 3 {
+				e.useful++
+			}
+		} else {
+			if e.ctr > 0 {
+				e.ctr--
+			} else {
+				e.target = target // replace once confidence exhausted
+			}
+			if e.useful > 0 {
+				e.useful--
+			}
+		}
+	} else {
+		correct = it.base[it.baseIndex(pc)] == target
+	}
+	it.base[it.baseIndex(pc)] = target
+
+	if !correct && provider < ittageTables-1 {
+		it.allocate(pc, target, provider)
+	}
+
+	it.PushHistory(true)
+}
+
+func (it *ITTAGE) allocate(pc isa.Addr, target isa.Addr, provider int) {
+	start := provider + 1
+	it.allocSeed = it.allocSeed*6364136223846793005 + 1442695040888963407
+	if n := ittageTables - start; n > 1 && (it.allocSeed>>33)&1 == 1 {
+		start++
+	}
+	for i := start; i < ittageTables; i++ {
+		idx := it.index(i, pc)
+		e := &it.tables[i][idx]
+		if e.useful == 0 {
+			*e = ittageEntry{tag: it.tag(i, pc), target: target, ctr: 1}
+			return
+		}
+	}
+	for i := start; i < ittageTables; i++ {
+		e := &it.tables[i][it.index(i, pc)]
+		if e.useful > 0 {
+			e.useful--
+		}
+	}
+}
+
+// PushHistory shifts one path bit into the global history. Callers push
+// for non-indirect branches too so indirect history stays path-correlated.
+func (it *ITTAGE) PushHistory(taken bool) {
+	for i := 0; i < ittageTables; i++ {
+		old := it.hist.at(ittageHistLens[i] - 1)
+		it.idxFold[i].push(taken, old)
+		it.tagFold[i].push(taken, old)
+	}
+	it.hist.push(taken)
+}

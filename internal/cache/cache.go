@@ -1,0 +1,375 @@
+// Package cache models set-associative caches with MSHR-limited outstanding
+// misses, pluggable replacement (LRU and the EMISSARY front-end-criticality
+// policy), and the prefetch bookkeeping (useful / useless / late) that the
+// paper's Table 4 and Figure 11 report.
+//
+// Timing model: the simulator is cycle-timed but not event-driven. A fill
+// is installed immediately with a readyAt timestamp; a demand access that
+// finds the line still in flight completes at readyAt (this is a hit on an
+// MSHR, i.e. the paper's "partial hit" — a late prefetch when the fill was
+// prefetch-initiated). MSHR occupancy is the number of lines whose readyAt
+// is still in the future.
+package cache
+
+import (
+	"fmt"
+
+	"pdip/internal/isa"
+)
+
+// Config sizes one cache level.
+type Config struct {
+	// Name labels the level in stats output ("L1I", "L2", ...).
+	Name string
+	// SizeBytes is the total capacity; SizeBytes/(64*Ways) must be a
+	// power-of-two set count.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// HitLatency is the access latency in cycles.
+	HitLatency int
+	// MSHRs bounds outstanding misses.
+	MSHRs int
+	// ProtectedWays > 0 enables EMISSARY replacement at this level with
+	// that many priority-protected ways per set.
+	ProtectedWays int
+}
+
+// Line is one cache block's metadata.
+type Line struct {
+	valid bool
+	tag   uint64
+	lru   uint32
+	// readyAt is the cycle the fill completes; accesses before then are
+	// hits on the in-flight MSHR.
+	readyAt int64
+	// priority is the EMISSARY P-bit.
+	priority bool
+	// prefetched marks a prefetch-initiated fill not yet demand-hit.
+	prefetched bool
+}
+
+// Priority reports the EMISSARY P-bit (exported for tests).
+func (l *Line) Priority() bool { return l.priority }
+
+// Stats aggregates per-level counters.
+type Stats struct {
+	// Demand accesses and misses (prefetch probes excluded).
+	Accesses uint64
+	Misses   uint64
+	// InstMisses/DataMisses split Misses by request class (used for the
+	// paper's L2I vs L2D distinction).
+	InstMisses uint64
+	DataMisses uint64
+	// LateHits counts demand accesses that found the line in flight.
+	LateHits uint64
+	// Fills counts new line installations from any source (demand, FDIP
+	// prime, prefetch). At the L1I this is the paper's miss-traffic
+	// measure: with FDIP most fills are prefetch-initiated rather than
+	// demand misses.
+	Fills uint64
+	// PrefetchFills counts fills initiated by a prefetcher.
+	PrefetchFills uint64
+	// UsefulPrefetches counts prefetched lines demand-hit before eviction.
+	UsefulPrefetches uint64
+	// LatePrefetches counts demand accesses that found a prefetched line
+	// still in flight (issued, but not early enough).
+	LatePrefetches uint64
+	// UselessPrefetches counts prefetched lines evicted without a hit.
+	UselessPrefetches uint64
+	// Evictions counts replaced valid lines.
+	Evictions uint64
+}
+
+// Class distinguishes instruction- from data-side requests for stats.
+type Class uint8
+
+const (
+	// ClassInst marks instruction-side requests.
+	ClassInst Class = iota
+	// ClassData marks data-side requests.
+	ClassData
+)
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg     Config
+	sets    [][]Line
+	setMask uint64
+	tick    uint32
+
+	// inflight holds readyAt deadlines of outstanding fills (the MSHR
+	// file). Pruned lazily against the current cycle.
+	inflight []int64
+
+	Stats Stats
+}
+
+// New builds a cache level from cfg.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache %s: size and ways must be positive", cfg.Name)
+	}
+	numSets := cfg.SizeBytes / (isa.LineSize * cfg.Ways)
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: %dB/%d-way yields %d sets; must be a power of two",
+			cfg.Name, cfg.SizeBytes, cfg.Ways, numSets)
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 16
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]Line, numSets),
+		setMask: uint64(numSets - 1),
+	}
+	backing := make([]Line, numSets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) addr2set(line isa.Addr) (int, uint64) {
+	v := uint64(line) >> isa.LineShift
+	return int(v & c.setMask), v
+}
+
+func (c *Cache) find(line isa.Addr) *Line {
+	set, tag := c.addr2set(line)
+	for i := range c.sets[set] {
+		if e := &c.sets[set][i]; e.valid && e.tag == tag {
+			return e
+		}
+	}
+	return nil
+}
+
+// Contains reports whether line is present (including in-flight fills),
+// without touching LRU state or stats. Prefetch queues use this to probe.
+func (c *Cache) Contains(line isa.Addr) bool { return c.find(line) != nil }
+
+// LookupResult describes the outcome of a demand access.
+type LookupResult struct {
+	// Hit is true when the line is present (possibly still in flight).
+	Hit bool
+	// ReadyAt is the cycle the data is available (>= now on in-flight
+	// hits). Meaningless when !Hit.
+	ReadyAt int64
+	// WasInflight is true when the hit landed on an outstanding fill.
+	WasInflight bool
+	// WasPrefetch is true when the line was brought in by a prefetch and
+	// this is its first demand touch.
+	WasPrefetch bool
+}
+
+// Access performs a demand lookup at cycle now, updating LRU and stats.
+func (c *Cache) Access(line isa.Addr, now int64, class Class) LookupResult {
+	c.Stats.Accesses++
+	e := c.find(line)
+	if e == nil {
+		c.Stats.Misses++
+		if class == ClassInst {
+			c.Stats.InstMisses++
+		} else {
+			c.Stats.DataMisses++
+		}
+		return LookupResult{}
+	}
+	c.tick++
+	e.lru = c.tick
+	res := LookupResult{Hit: true, ReadyAt: now + int64(c.cfg.HitLatency)}
+	if e.readyAt > now {
+		res.ReadyAt = e.readyAt
+		res.WasInflight = true
+		c.Stats.LateHits++
+	}
+	if e.prefetched {
+		res.WasPrefetch = true
+		e.prefetched = false
+		c.Stats.UsefulPrefetches++
+		if res.WasInflight {
+			c.Stats.LatePrefetches++
+		}
+	}
+	return res
+}
+
+// MSHRFree returns the number of free MSHR entries at cycle now.
+func (c *Cache) MSHRFree(now int64) int {
+	c.pruneMSHR(now)
+	return c.cfg.MSHRs - len(c.inflight)
+}
+
+// EarliestMSHRFree returns the cycle at which an MSHR entry will next be
+// available. If one is free now, it returns now.
+func (c *Cache) EarliestMSHRFree(now int64) int64 {
+	c.pruneMSHR(now)
+	if len(c.inflight) < c.cfg.MSHRs {
+		return now
+	}
+	earliest := c.inflight[0]
+	for _, t := range c.inflight[1:] {
+		if t < earliest {
+			earliest = t
+		}
+	}
+	return earliest
+}
+
+func (c *Cache) pruneMSHR(now int64) {
+	keep := c.inflight[:0]
+	for _, t := range c.inflight {
+		if t > now {
+			keep = append(keep, t)
+		}
+	}
+	c.inflight = keep
+}
+
+// FillOpts qualifies a fill.
+type FillOpts struct {
+	// Prefetch marks a prefetch-initiated fill.
+	Prefetch bool
+	// Priority sets the EMISSARY P-bit on the installed line.
+	Priority bool
+}
+
+// Fill installs line, completing at readyAt, allocating an MSHR slot for
+// the in-flight window. The caller must have checked MSHR availability.
+// It returns the evicted line address, if any valid line was displaced.
+func (c *Cache) Fill(line isa.Addr, now, readyAt int64, opts FillOpts) (evicted isa.Addr, hadVictim bool) {
+	if e := c.find(line); e != nil {
+		// Already present or in flight; refresh priority at most.
+		if opts.Priority {
+			e.priority = true
+		}
+		return 0, false
+	}
+	if readyAt > now {
+		c.pruneMSHR(now)
+		c.inflight = append(c.inflight, readyAt)
+	}
+	c.Stats.Fills++
+	if opts.Prefetch {
+		c.Stats.PrefetchFills++
+	}
+	set, tag := c.addr2set(line)
+	victim := c.pickVictim(c.sets[set], now)
+	e := &c.sets[set][victim]
+	if e.valid {
+		c.Stats.Evictions++
+		if e.prefetched {
+			c.Stats.UselessPrefetches++
+		}
+		evicted = isa.Addr(e.tag << isa.LineShift)
+		hadVictim = true
+	}
+	c.tick++
+	*e = Line{
+		valid:      true,
+		tag:        tag,
+		lru:        c.tick,
+		readyAt:    readyAt,
+		priority:   opts.Priority,
+		prefetched: opts.Prefetch,
+	}
+	return evicted, hadVictim
+}
+
+// pickVictim chooses a way to replace: LRU by default; with EMISSARY
+// enabled, LRU among non-priority lines while the set holds at most
+// ProtectedWays priority lines (falling back to global LRU, clearing the
+// victim's P-bit, when the protection budget is exhausted or every way is
+// priority).
+func (c *Cache) pickVictim(set []Line, now int64) int {
+	// Invalid way first.
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	protect := c.cfg.ProtectedWays
+	if protect > 0 {
+		nPri := 0
+		for i := range set {
+			if set[i].priority {
+				nPri++
+			}
+		}
+		if nPri <= protect && nPri < len(set) {
+			// Protect priority lines: LRU among non-priority ways,
+			// preferring lines that are not mid-fill.
+			if v := lruAmong(set, now, func(l *Line) bool { return !l.priority }); v >= 0 {
+				return v
+			}
+		}
+		// Protection budget exhausted: global LRU, demoting the victim.
+		v := lruAmong(set, now, func(l *Line) bool { return true })
+		set[v].priority = false
+		return v
+	}
+	return lruAmong(set, now, func(l *Line) bool { return true })
+}
+
+// lruAmong returns the least-recently-used way satisfying pred, preferring
+// lines whose fill has completed (evicting an in-flight line would squash
+// an outstanding fill). Returns -1 if no way satisfies pred.
+func lruAmong(set []Line, now int64, pred func(*Line) bool) int {
+	best, bestInflight := -1, -1
+	var bestLRU, bestInflightLRU uint32
+	for i := range set {
+		l := &set[i]
+		if !pred(l) {
+			continue
+		}
+		if l.readyAt > now {
+			if bestInflight == -1 || l.lru < bestInflightLRU {
+				bestInflight, bestInflightLRU = i, l.lru
+			}
+			continue
+		}
+		if best == -1 || l.lru < bestLRU {
+			best, bestLRU = i, l.lru
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return bestInflight
+}
+
+// Promote sets the EMISSARY P-bit on a resident line; a miss is a no-op.
+func (c *Cache) Promote(line isa.Addr) {
+	if e := c.find(line); e != nil {
+		e.priority = true
+	}
+}
+
+// NumSets returns the set count.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// PriorityLines counts resident lines with the P-bit set (test support).
+func (c *Cache) PriorityLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].priority {
+				n++
+			}
+		}
+	}
+	return n
+}

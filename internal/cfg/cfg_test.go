@@ -1,0 +1,258 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pdip/internal/isa"
+	"pdip/internal/rng"
+)
+
+func smallParams(seed uint64) Params {
+	p := DefaultParams()
+	p.Seed = seed
+	p.NumFuncs = 128
+	return p
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := MustGenerate(smallParams(11))
+	b := MustGenerate(smallParams(11))
+	if len(a.Blocks) != len(b.Blocks) || len(a.Funcs) != len(b.Funcs) {
+		t.Fatal("same seed produced different program shapes")
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].Addr != b.Blocks[i].Addr || a.Blocks[i].Term.Kind != b.Blocks[i].Term.Kind {
+			t.Fatalf("block %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	p := smallParams(1)
+	p.NumFuncs = 0
+	if _, err := Generate(p); err == nil {
+		t.Fatal("NumFuncs=0 accepted")
+	}
+	p = smallParams(1)
+	p.BlocksPerFuncMean = 0
+	if _, err := Generate(p); err == nil {
+		t.Fatal("BlocksPerFuncMean=0 accepted")
+	}
+}
+
+func TestDriverStructure(t *testing.T) {
+	prog := MustGenerate(smallParams(2))
+	if prog.Entry != 0 {
+		t.Fatalf("entry = %d, want driver block 0", prog.Entry)
+	}
+	d := prog.Funcs[0]
+	if d.NumBlocks != 2 {
+		t.Fatalf("driver has %d blocks, want 2", d.NumBlocks)
+	}
+	if !prog.Blocks[0].Term.Dispatch || prog.Blocks[0].Term.Kind != isa.IndirectCall {
+		t.Fatal("driver block 0 is not the dispatch indirect call")
+	}
+	if prog.Blocks[1].Term.Kind != isa.UncondDirect || prog.Blocks[1].Term.TakenBlock != 0 {
+		t.Fatal("driver block 1 does not loop back to block 0")
+	}
+}
+
+func TestLayerDAG(t *testing.T) {
+	prog := MustGenerate(smallParams(3))
+	for _, blk := range prog.Blocks {
+		caller := prog.Funcs[blk.Func]
+		switch blk.Term.Kind {
+		case isa.DirectCall:
+			callee := prog.Funcs[prog.Blocks[blk.Term.TakenBlock].Func]
+			if blk.Term.Dispatch {
+				continue
+			}
+			if callee.Layer != caller.Layer+1 {
+				t.Fatalf("call from layer %d to layer %d (func %d → %d)",
+					caller.Layer, callee.Layer, caller.ID, callee.ID)
+			}
+		case isa.IndirectCall:
+			if blk.Term.Dispatch {
+				continue
+			}
+			for _, tgt := range blk.Term.IndTargets {
+				callee := prog.Funcs[prog.Blocks[tgt].Func]
+				if callee.Layer != caller.Layer+1 {
+					t.Fatalf("indirect call from layer %d to layer %d", caller.Layer, callee.Layer)
+				}
+			}
+		}
+	}
+	// The deepest layer must make no calls.
+	for _, blk := range prog.Blocks {
+		if prog.Funcs[blk.Func].Layer == MaxLayer &&
+			(blk.Term.Kind == isa.DirectCall || blk.Term.Kind == isa.IndirectCall) && !blk.Term.Dispatch {
+			t.Fatalf("layer %d function %d makes a call", MaxLayer, blk.Func)
+		}
+	}
+}
+
+func TestForwardOnlyJumps(t *testing.T) {
+	prog := MustGenerate(smallParams(4))
+	for _, blk := range prog.Blocks {
+		fn := prog.Funcs[blk.Func]
+		rel := blk.ID - fn.FirstBlock
+		switch blk.Term.Kind {
+		case isa.UncondDirect:
+			if blk.Func == 0 {
+				continue // the driver loop-back is the one allowed cycle
+			}
+			if blk.Term.TakenBlock <= blk.ID {
+				t.Fatalf("unconditional backward/self jump at block %d", blk.ID)
+			}
+		case isa.IndirectJump:
+			for _, tgt := range blk.Term.IndTargets {
+				if tgt <= blk.ID {
+					t.Fatalf("indirect backward/self jump at block %d", blk.ID)
+				}
+			}
+		case isa.CondDirect:
+			tgtRel := blk.Term.TakenBlock - fn.FirstBlock
+			if blk.Term.LoopTrip > 0 {
+				if tgtRel >= rel {
+					t.Fatalf("loop back-edge not backward at block %d", blk.ID)
+				}
+			} else if tgtRel <= rel {
+				t.Fatalf("forward conditional targets itself or earlier at block %d", blk.ID)
+			}
+		}
+	}
+}
+
+func TestBlocksContiguousAndSorted(t *testing.T) {
+	prog := MustGenerate(smallParams(5))
+	for i := 1; i < len(prog.Blocks); i++ {
+		if prog.Blocks[i].Addr < prog.Blocks[i-1].End() {
+			t.Fatalf("block %d overlaps block %d", i, i-1)
+		}
+	}
+}
+
+func TestBlockAt(t *testing.T) {
+	prog := MustGenerate(smallParams(6))
+	// Every instruction start address must resolve to its block.
+	for bi := range prog.Blocks {
+		blk := &prog.Blocks[bi]
+		pc := blk.Addr
+		for _, sz := range blk.InstSizes {
+			got := prog.BlockAt(pc)
+			if got == nil || got.ID != blk.ID {
+				t.Fatalf("BlockAt(%v) did not find block %d", pc, blk.ID)
+			}
+			pc += isa.Addr(sz)
+		}
+	}
+	if prog.BlockAt(prog.Params.CodeBase-1) != nil {
+		t.Fatal("BlockAt before code base returned a block")
+	}
+	last := prog.Blocks[len(prog.Blocks)-1]
+	if prog.BlockAt(last.End()+1024) != nil {
+		t.Fatal("BlockAt past code end returned a block")
+	}
+}
+
+func TestBlockAtProperty(t *testing.T) {
+	prog := MustGenerate(smallParams(7))
+	foot := prog.FootprintBytes()
+	f := func(off uint32) bool {
+		addr := prog.Params.CodeBase + isa.Addr(int(off)%foot)
+		blk := prog.BlockAt(addr)
+		// Padding gaps return nil; any hit must actually contain addr.
+		if blk == nil {
+			return true
+		}
+		return addr >= blk.Addr && addr < blk.End()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	prog := MustGenerate(smallParams(8))
+	if prog.FootprintBytes() <= 0 {
+		t.Fatal("non-positive footprint")
+	}
+	wantLines := (prog.FootprintBytes() + isa.LineSize - 1) / isa.LineSize
+	if prog.FootprintLines() != wantLines {
+		t.Fatalf("FootprintLines = %d, want %d", prog.FootprintLines(), wantLines)
+	}
+	if prog.NumStaticBranches() == 0 {
+		t.Fatal("no static branches generated")
+	}
+}
+
+func TestSnapToLayer(t *testing.T) {
+	prog := MustGenerate(smallParams(9))
+	for layer := 0; layer <= MaxLayer; layer++ {
+		got := prog.SnapToLayer(len(prog.Funcs)/2, layer)
+		if got < 0 {
+			t.Fatalf("SnapToLayer found nothing for layer %d", layer)
+		}
+		if prog.Funcs[got].Layer != layer {
+			t.Fatalf("SnapToLayer returned layer %d, want %d", prog.Funcs[got].Layer, layer)
+		}
+	}
+	if prog.SnapToLayer(-5, 0) < 0 || prog.SnapToLayer(1<<20, 0) < 0 {
+		t.Fatal("SnapToLayer failed to clamp out-of-range indices")
+	}
+}
+
+func TestPickFuncInLayer(t *testing.T) {
+	prog := MustGenerate(smallParams(10))
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		layer := i % (MaxLayer + 1)
+		f := prog.PickFuncInLayer(r, layer)
+		if prog.Funcs[f].Layer != layer {
+			t.Fatalf("PickFuncInLayer(%d) returned layer %d", layer, prog.Funcs[f].Layer)
+		}
+	}
+}
+
+func TestHardBranchesHaveFarTargets(t *testing.T) {
+	p := smallParams(12)
+	p.HardBranchFrac = 1.0 // every non-loop conditional is hard
+	p.LoopFrac = 0
+	prog := MustGenerate(p)
+	far, total := 0, 0
+	for _, blk := range prog.Blocks[2:] { // skip driver
+		if blk.Term.Kind != isa.CondDirect {
+			continue
+		}
+		total++
+		if blk.Term.TakenBlock-blk.ID >= 4 {
+			far++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no conditional branches generated")
+	}
+	if frac := float64(far) / float64(total); frac < 0.5 {
+		t.Fatalf("only %.0f%% of hard branches have far targets", frac*100)
+	}
+}
+
+func TestHotHandlers(t *testing.T) {
+	p := smallParams(13)
+	p.HotFuncFrac = 0.5
+	prog := MustGenerate(p)
+	hot := prog.HotHandlers()
+	if len(hot) == 0 {
+		t.Fatal("no hot handlers with HotFuncFrac=0.5")
+	}
+	for _, h := range hot {
+		if h == 0 {
+			t.Fatal("driver listed as hot handler")
+		}
+		if prog.Funcs[h].Layer != 0 || !prog.Funcs[h].Hot {
+			t.Fatalf("hot handler %d is layer %d hot=%v", h, prog.Funcs[h].Layer, prog.Funcs[h].Hot)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package eip
+
+import (
+	"testing"
+
+	"pdip/internal/isa"
+	"pdip/internal/prefetch"
+)
+
+func access(line isa.Addr, cycle int64) prefetch.RetireEvent {
+	return prefetch.RetireEvent{Line: line, FetchCycle: cycle}
+}
+
+func missAt(line isa.Addr, cycle, latency int64) prefetch.RetireEvent {
+	return prefetch.RetireEvent{Line: line, FetchCycle: cycle, FetchLatency: latency, Missed: true}
+}
+
+func TestEntangleRoundtrip(t *testing.T) {
+	e := New(DefaultConfig())
+	src, dst := isa.Addr(0x1000), isa.Addr(0x9000)
+	e.OnLineRetired(access(src, 100))
+	// dst missed with latency 50: the source ~50 cycles earlier is src.
+	e.OnLineRetired(missAt(dst, 150, 50))
+	reqs := e.OnFTQInsert(src, nil)
+	if len(reqs) != 1 || reqs[0].Line != dst {
+		t.Fatalf("entangled lookup: %+v", reqs)
+	}
+}
+
+func TestSourceSelectionPicksClosestLatency(t *testing.T) {
+	e := New(DefaultConfig())
+	far, near := isa.Addr(0x1000), isa.Addr(0x2000)
+	e.OnLineRetired(access(far, 10))
+	e.OnLineRetired(access(near, 90))
+	// Miss at 100 with latency 12: want the entry nearest cycle 88 (near).
+	e.OnLineRetired(missAt(0x9000, 100, 12))
+	if got := e.OnFTQInsert(near, nil); len(got) != 1 {
+		t.Fatalf("nearest-latency source not entangled: %+v", got)
+	}
+	if got := e.OnFTQInsert(far, nil); len(got) != 0 {
+		t.Fatalf("distant source wrongly entangled: %+v", got)
+	}
+}
+
+func TestSelfEntangleSkipped(t *testing.T) {
+	e := New(DefaultConfig())
+	line := isa.Addr(0x4000)
+	e.OnLineRetired(access(line, 100))
+	e.OnLineRetired(missAt(line, 105, 5))
+	if got := e.OnFTQInsert(line, nil); len(got) != 0 {
+		t.Fatalf("line entangled with itself: %+v", got)
+	}
+}
+
+func TestDstCapSlides(t *testing.T) {
+	c := DefaultConfig()
+	c.TargetsPerEntry = 2
+	e := New(c)
+	src := isa.Addr(0x1000)
+	for i := 1; i <= 3; i++ {
+		e.OnLineRetired(access(src, int64(i*1000)))
+		e.OnLineRetired(missAt(isa.Addr(0x9000+i*64), int64(i*1000+20), 20))
+	}
+	reqs := e.OnFTQInsert(src, nil)
+	if len(reqs) != 2 {
+		t.Fatalf("dst count %d, want cap 2", len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Line == 0x9040 {
+			t.Fatal("oldest dst not displaced")
+		}
+	}
+}
+
+func TestDuplicateDstNotAdded(t *testing.T) {
+	e := New(DefaultConfig())
+	src, dst := isa.Addr(0x1000), isa.Addr(0x9000)
+	for i := 0; i < 3; i++ {
+		e.OnLineRetired(access(src, int64(100+i*200)))
+		e.OnLineRetired(missAt(dst, int64(150+i*200), 50))
+	}
+	if got := e.OnFTQInsert(src, nil); len(got) != 1 {
+		t.Fatalf("duplicate dsts stored: %+v", got)
+	}
+}
+
+func TestAnalyticalUnbounded(t *testing.T) {
+	e := New(AnalyticalConfig())
+	if e.Name() != "eip-analytical" {
+		t.Fatalf("name %q", e.Name())
+	}
+	// Thousands of distinct sources must all be retained.
+	for i := 0; i < 5000; i++ {
+		src := isa.Addr(0x100000 + i*64)
+		e.OnLineRetired(access(src, int64(i*10)))
+		e.OnLineRetired(missAt(isa.Addr(0x900000+i*64), int64(i*10+5), 5))
+	}
+	hits := 0
+	for i := 0; i < 5000; i++ {
+		if got := e.OnFTQInsert(isa.Addr(0x100000+i*64), nil); len(got) > 0 {
+			hits++
+		}
+	}
+	if hits < 4900 {
+		t.Fatalf("analytical table lost entries: %d/5000 resident", hits)
+	}
+}
+
+func TestBoundedTableEvicts(t *testing.T) {
+	c := DefaultConfig()
+	c.Sets = 4
+	c.Ways = 2
+	e := New(c)
+	for i := 0; i < 64; i++ {
+		src := isa.Addr(0x100000 + i*64)
+		e.OnLineRetired(access(src, int64(i*10)))
+		e.OnLineRetired(missAt(isa.Addr(0x900000+i*64), int64(i*10+5), 5))
+	}
+	hits := 0
+	for i := 0; i < 64; i++ {
+		if got := e.OnFTQInsert(isa.Addr(0x100000+i*64), nil); len(got) > 0 {
+			hits++
+		}
+	}
+	if hits > 8 {
+		t.Fatalf("%d sources resident in an 8-entry table", hits)
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	kb := DefaultConfig().StorageKB()
+	if kb < 40 || kb > 50 {
+		t.Fatalf("EIP(46)-class storage %.1fKB", kb)
+	}
+	if AnalyticalConfig().StorageKB() != 237 {
+		t.Fatal("analytical nominal storage changed")
+	}
+}
+
+func TestNoSourceWhenHistoryEmpty(t *testing.T) {
+	e := New(DefaultConfig())
+	e.OnLineRetired(missAt(0x9000, 100, 50))
+	if e.Stats.NoSource != 1 {
+		t.Fatalf("NoSource = %d", e.Stats.NoSource)
+	}
+}
+
+func TestResetStatsKeepsTable(t *testing.T) {
+	e := New(DefaultConfig())
+	e.OnLineRetired(access(0x1000, 100))
+	e.OnLineRetired(missAt(0x9000, 150, 50))
+	e.ResetStats()
+	if e.Stats.Entangled != 0 {
+		t.Fatal("stats not reset")
+	}
+	if got := e.OnFTQInsert(0x1000, nil); len(got) != 1 {
+		t.Fatal("table lost on stats reset")
+	}
+}

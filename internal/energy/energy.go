@@ -1,0 +1,87 @@
+// Package energy provides an analytical SRAM energy/area model standing in
+// for the paper's McPAT evaluation (Table 5). The paper modified McPAT to
+// model the PDIP structures; we model SRAM arrays with a CACTI-style
+// scaling law — bit-cell area plus peripheral overhead growing with
+// associativity (comparators, way muxes), and dynamic energy per access
+// growing with both capacity and way count — calibrated against a
+// Golden Cove-class core budget so the magnitudes and the trends (area
+// superlinear in ways, energy saturating with size) match Table 5.
+package energy
+
+// Core budget constants (Golden Cove-class, 7nm-equivalent arbitrary
+// units). Only ratios matter for the reported percentages.
+const (
+	// coreAreaMM2 approximates one P-core without L2.
+	coreAreaMM2 = 7.0
+	// coreEnergyPerCycle is the average core energy per cycle (pJ).
+	coreEnergyPerCycle = 1400.0
+
+	// sramMM2PerKB is the bit-cell array area per KB.
+	sramMM2PerKB = 0.0014
+	// perWayOverhead is the fractional array-area overhead per way
+	// (comparators, sense amps, way select).
+	perWayOverhead = 0.085
+	// readEnergyBase is the per-access dynamic energy (pJ) of a small
+	// way; each additional probed way adds readEnergyPerWay.
+	readEnergyBase   = 2.2
+	readEnergyPerWay = 1.9
+	// leakagePerKB is static energy per KB per cycle (pJ).
+	leakagePerKB = 0.011
+)
+
+// Overhead is the modelled cost of one added structure.
+type Overhead struct {
+	// AreaFrac is the structure's area as a fraction of core area.
+	AreaFrac float64
+	// EnergyFrac is the added energy as a fraction of core energy.
+	EnergyFrac float64
+	// AreaMM2 and EnergyPJPerCycle are the absolute model outputs.
+	AreaMM2          float64
+	EnergyPJPerCycle float64
+}
+
+// Table models a set-associative SRAM table.
+type Table struct {
+	// SizeKB is the array capacity in kilobytes.
+	SizeKB float64
+	// Ways is the associativity (every way is probed per access).
+	Ways int
+	// AccessesPerCycle is the average probe rate.
+	AccessesPerCycle float64
+}
+
+// Model computes the table's overhead against the core budget.
+func Model(t Table) Overhead {
+	ways := t.Ways
+	if ways < 1 {
+		ways = 1
+	}
+	area := t.SizeKB * sramMM2PerKB * (1 + perWayOverhead*float64(ways))
+	dyn := (readEnergyBase + readEnergyPerWay*float64(ways)) * t.AccessesPerCycle
+	leak := t.SizeKB * leakagePerKB
+	e := dyn + leak
+	return Overhead{
+		AreaFrac:         area / coreAreaMM2,
+		EnergyFrac:       e / coreEnergyPerCycle,
+		AreaMM2:          area,
+		EnergyPJPerCycle: e,
+	}
+}
+
+// pdipKBForWays mirrors the paper's table sizes (512 sets, 10-bit tag,
+// 1 LRU bit, 2 targets of 34+4 bits per entry).
+func pdipKBForWays(ways int) float64 {
+	bitsPerEntry := 10 + 1 + 2*(34+4)
+	return float64(512*ways*bitsPerEntry) / 8192.0
+}
+
+// PDIPOverhead models the PDIP table at the given associativity with the
+// measured lookup activity (Table 5's four configurations are ways
+// 2/4/8/16). Accesses include both table probes and prefetch issues.
+func PDIPOverhead(ways int, accessesPerCycle float64) Overhead {
+	return Model(Table{
+		SizeKB:           pdipKBForWays(ways),
+		Ways:             ways,
+		AccessesPerCycle: accessesPerCycle,
+	})
+}

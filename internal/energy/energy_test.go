@@ -1,0 +1,57 @@
+package energy
+
+import "testing"
+
+func TestAreaMonotonicInWays(t *testing.T) {
+	prev := 0.0
+	for _, ways := range []int{2, 4, 8, 16} {
+		m := PDIPOverhead(ways, 0.2)
+		if m.AreaFrac <= prev {
+			t.Fatalf("area not increasing at ways=%d: %f <= %f", ways, m.AreaFrac, prev)
+		}
+		prev = m.AreaFrac
+	}
+}
+
+func TestEnergyMonotonicInWays(t *testing.T) {
+	prev := 0.0
+	for _, ways := range []int{2, 4, 8, 16} {
+		m := PDIPOverhead(ways, 0.2)
+		if m.EnergyFrac <= prev {
+			t.Fatalf("energy not increasing at ways=%d", ways)
+		}
+		prev = m.EnergyFrac
+	}
+}
+
+func TestTable5Magnitudes(t *testing.T) {
+	// The paper reports sub-1% energy overheads and 0.3-3% area across
+	// the four sizes; the analytical model must land in those decades.
+	for _, ways := range []int{2, 4, 8, 16} {
+		m := PDIPOverhead(ways, 0.2)
+		if m.EnergyFrac <= 0 || m.EnergyFrac > 0.03 {
+			t.Fatalf("ways=%d energy fraction %.4f outside (0, 3%%]", ways, m.EnergyFrac)
+		}
+		if m.AreaFrac <= 0 || m.AreaFrac > 0.06 {
+			t.Fatalf("ways=%d area fraction %.4f outside (0, 6%%]", ways, m.AreaFrac)
+		}
+	}
+}
+
+func TestEnergyScalesWithActivity(t *testing.T) {
+	lo := PDIPOverhead(8, 0.01)
+	hi := PDIPOverhead(8, 1.0)
+	if hi.EnergyFrac <= lo.EnergyFrac {
+		t.Fatal("energy insensitive to access rate")
+	}
+	if hi.AreaFrac != lo.AreaFrac {
+		t.Fatal("area depends on access rate")
+	}
+}
+
+func TestModelZeroWays(t *testing.T) {
+	m := Model(Table{SizeKB: 10, Ways: 0, AccessesPerCycle: 0.1})
+	if m.AreaFrac <= 0 {
+		t.Fatal("zero ways not clamped")
+	}
+}

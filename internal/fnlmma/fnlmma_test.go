@@ -1,0 +1,87 @@
+package fnlmma
+
+import (
+	"testing"
+
+	"pdip/internal/isa"
+	"pdip/internal/prefetch"
+)
+
+func miss(line isa.Addr) prefetch.RetireEvent {
+	return prefetch.RetireEvent{Line: line, Missed: true}
+}
+
+func TestFNLPrefetchesWorthyNeighbours(t *testing.T) {
+	f := New(DefaultConfig())
+	base := isa.Addr(0x9000)
+	// Train: accesses to base+1 and base+3 lines mark them worthy
+	// relative to base.
+	f.OnFTQInsert(base+1*isa.LineSize, nil)
+	f.OnFTQInsert(base+3*isa.LineSize, nil)
+	f.OnLineRetired(miss(base))
+	reqs := f.TakePending(nil)
+	got := map[isa.Addr]bool{}
+	for _, q := range reqs {
+		got[q.Line] = true
+	}
+	if !got[base+1*isa.LineSize] || !got[base+3*isa.LineSize] {
+		t.Fatalf("worthy neighbours not prefetched: %+v", reqs)
+	}
+	if got[base+2*isa.LineSize] {
+		t.Fatal("unworthy neighbour prefetched")
+	}
+}
+
+func TestMMAChainsMisses(t *testing.T) {
+	c := DefaultConfig()
+	c.Distance = 2
+	f := New(c)
+	// Misses A, B, C, D: training links A→C and B→D.
+	a, b, cc, d := isa.Addr(0x10000), isa.Addr(0x20000), isa.Addr(0x30000), isa.Addr(0x40000)
+	for _, l := range []isa.Addr{a, b, cc, d} {
+		f.OnLineRetired(miss(l))
+	}
+	f.TakePending(nil)
+	// Re-miss A: MMA must now predict C.
+	f.OnLineRetired(miss(a))
+	reqs := f.TakePending(nil)
+	found := false
+	for _, q := range reqs {
+		if q.Line == cc {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("miss-ahead chain A→C not learned: %+v", reqs)
+	}
+	if f.Stats.MMAEmitted == 0 {
+		t.Fatal("MMA emission not counted")
+	}
+}
+
+func TestHitsGenerateNothing(t *testing.T) {
+	f := New(DefaultConfig())
+	f.OnLineRetired(prefetch.RetireEvent{Line: 0x9000, Missed: false})
+	if got := f.TakePending(nil); len(got) != 0 {
+		t.Fatal("hit generated prefetches")
+	}
+}
+
+func TestStorageAndName(t *testing.T) {
+	f := New(DefaultConfig())
+	if f.Name() != "fnl+mma" {
+		t.Fatalf("name %q", f.Name())
+	}
+	if kb := f.StorageKB(); kb < 10 || kb > 64 {
+		t.Fatalf("storage %.1fKB outside the expected class", kb)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	f := New(DefaultConfig())
+	f.OnFTQInsert(0x40, nil)
+	f.ResetStats()
+	if f.Stats.Trained != 0 {
+		t.Fatal("stats not reset")
+	}
+}

@@ -1,0 +1,205 @@
+// Package harness runs (benchmark × policy) simulation grids with warmup,
+// caches results for cross-run comparisons (speedups, FEC-stall reduction,
+// coverage), and formats the rows of every table and figure in the paper's
+// evaluation (see experiments.go).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pdip/internal/core"
+	"pdip/internal/policy"
+	"pdip/internal/workload"
+)
+
+// Options scales a whole experiment.
+type Options struct {
+	// Warmup and Measure are per-run instruction budgets. The paper warms
+	// ~10M and measures 100M on gem5; the defaults here are scaled so the
+	// full grid completes in minutes with the same pipeline model.
+	Warmup, Measure uint64
+	// Benchmarks restricts the benchmark set (nil = all 16).
+	Benchmarks []string
+	// Parallelism bounds concurrent runs (0 = GOMAXPROCS).
+	Parallelism int
+	// CollectSets enables FEC/coverage set collection on every run.
+	CollectSets bool
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options {
+	return Options{Warmup: 300_000, Measure: 1_000_000}
+}
+
+// QuickOptions returns a reduced scale for smoke tests and examples.
+func QuickOptions() Options {
+	return Options{Warmup: 60_000, Measure: 200_000}
+}
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return workload.Names()
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunSpec identifies one simulation run.
+type RunSpec struct {
+	// Benchmark and Policy name the workload profile and configuration.
+	Benchmark, Policy string
+	// BTBEntries overrides the BTB capacity when > 0 (Fig 14/15 sweeps).
+	BTBEntries int
+	// Warmup and Measure are instruction budgets.
+	Warmup, Measure uint64
+	// CollectSets enables coverage-set collection.
+	CollectSets bool
+}
+
+// RunResult pairs a spec with its measured snapshot.
+type RunResult struct {
+	Spec RunSpec
+	Res  core.Result
+}
+
+// Runner executes and memoises runs.
+type Runner struct {
+	mu    sync.Mutex
+	cache map[RunSpec]*RunResult
+	errs  map[RunSpec]error
+	sem   chan struct{}
+}
+
+// NewRunner returns a Runner bounded to parallelism concurrent runs.
+func NewRunner(parallelism int) *Runner {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		cache: make(map[RunSpec]*RunResult),
+		errs:  make(map[RunSpec]error),
+		sem:   make(chan struct{}, parallelism),
+	}
+}
+
+// Run executes spec (or returns the memoised result).
+func (r *Runner) Run(spec RunSpec) (*RunResult, error) {
+	r.mu.Lock()
+	if res, ok := r.cache[spec]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	if err, ok := r.errs[spec]; ok {
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+
+	// Another goroutine may have completed it while we waited.
+	r.mu.Lock()
+	if res, ok := r.cache[spec]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	res, err := Execute(spec)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.errs[spec] = err
+		return nil, err
+	}
+	r.cache[spec] = res
+	return res, nil
+}
+
+// RunAll executes every spec concurrently and returns results in order.
+func (r *Runner) RunAll(specs []RunSpec) ([]*RunResult, error) {
+	results := make([]*RunResult, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Execute performs one simulation run without memoisation.
+func Execute(spec RunSpec) (*RunResult, error) {
+	prof, err := workload.ByName(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := policy.ByName(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := prof.Program()
+	if err != nil {
+		return nil, err
+	}
+
+	c := core.DefaultConfig()
+	c.Seed = prof.CFG.Seed ^ 0x5eed
+	c.MemOpFrac = prof.MemOpFrac
+	c.DataHotLines = prof.DataHotLines
+	c.DataColdLines = prof.DataColdLines
+	c.DataHotFrac = prof.DataHotFrac
+	if spec.BTBEntries > 0 {
+		c.BPU.BTBEntries = spec.BTBEntries
+	}
+	c.CollectSets = spec.CollectSets
+	pol.Apply(&c)
+
+	co, err := core.New(prog, c)
+	if err != nil {
+		return nil, err
+	}
+	warmup, measure := spec.Warmup, spec.Measure
+	if warmup == 0 && measure == 0 {
+		o := DefaultOptions()
+		warmup, measure = o.Warmup, o.Measure
+	}
+	if err := co.Run(warmup); err != nil {
+		return nil, fmt.Errorf("%s/%s warmup: %w", spec.Benchmark, spec.Policy, err)
+	}
+	co.ResetStats()
+	if err := co.Run(measure); err != nil {
+		return nil, fmt.Errorf("%s/%s measure: %w", spec.Benchmark, spec.Policy, err)
+	}
+	res := co.Result()
+	return &RunResult{Spec: spec, Res: res}, nil
+}
+
+// spec builds a RunSpec from options.
+func (o Options) spec(bench, pol string) RunSpec {
+	return RunSpec{
+		Benchmark:   bench,
+		Policy:      pol,
+		Warmup:      o.Warmup,
+		Measure:     o.Measure,
+		CollectSets: o.CollectSets,
+	}
+}

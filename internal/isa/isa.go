@@ -1,0 +1,125 @@
+// Package isa defines the minimal instruction-set-level vocabulary shared by
+// every layer of the simulator: addresses, cache-line geometry, branch kinds,
+// and the dynamic instruction record that flows through the pipeline.
+//
+// The model is ISA-agnostic in the details (no opcodes or registers) but
+// follows x86-like conventions from the paper's Golden Cove baseline:
+// variable-length instructions and 64-byte cache lines.
+package isa
+
+import "fmt"
+
+// Addr is a byte address in the simulated virtual/physical address space.
+// The simulator does not model address translation (the paper stores full
+// physical addresses in its tables to sidestep ITLB effects), so virtual
+// and physical addresses coincide.
+type Addr uint64
+
+// Cache-line geometry. The entire paper, and therefore this model, assumes
+// 64-byte lines at every level of the hierarchy.
+const (
+	LineShift = 6
+	LineSize  = 1 << LineShift
+	LineMask  = LineSize - 1
+)
+
+// Line returns the address of the cache line containing a.
+func (a Addr) Line() Addr { return a &^ LineMask }
+
+// LineOffset returns the byte offset of a within its cache line.
+func (a Addr) LineOffset() int { return int(a & LineMask) }
+
+// String formats the address as hex, convenient in test failures and traces.
+func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }
+
+// BranchKind classifies an instruction's control-flow behaviour. The kinds
+// mirror the structures of the branch prediction unit: conditional branches
+// consult TAGE, direct jumps/calls consult the BTB, indirect jumps/calls
+// consult ITTAGE, and returns consult the RAS.
+type BranchKind uint8
+
+const (
+	// NotBranch is any non-control-flow instruction.
+	NotBranch BranchKind = iota
+	// CondDirect is a conditional direct branch (direction predicted by
+	// TAGE, target by BTB).
+	CondDirect
+	// UncondDirect is an unconditional direct jump (target by BTB).
+	UncondDirect
+	// DirectCall is a direct call; pushes the return address on the RAS.
+	DirectCall
+	// IndirectJump is a register-indirect jump (target by ITTAGE).
+	IndirectJump
+	// IndirectCall is a register-indirect call (ITTAGE + RAS push).
+	IndirectCall
+	// Return pops its target from the RAS.
+	Return
+)
+
+// IsBranch reports whether the kind is any control-flow instruction.
+func (k BranchKind) IsBranch() bool { return k != NotBranch }
+
+// IsCall reports whether the kind pushes a return address.
+func (k BranchKind) IsCall() bool { return k == DirectCall || k == IndirectCall }
+
+// IsIndirect reports whether the target comes from ITTAGE (or the RAS for
+// returns) rather than the BTB.
+func (k BranchKind) IsIndirect() bool {
+	return k == IndirectJump || k == IndirectCall || k == Return
+}
+
+// IsUnconditional reports whether the branch is always taken when executed.
+func (k BranchKind) IsUnconditional() bool {
+	return k.IsBranch() && k != CondDirect
+}
+
+func (k BranchKind) String() string {
+	switch k {
+	case NotBranch:
+		return "not-branch"
+	case CondDirect:
+		return "cond"
+	case UncondDirect:
+		return "jmp"
+	case DirectCall:
+		return "call"
+	case IndirectJump:
+		return "ijmp"
+	case IndirectCall:
+		return "icall"
+	case Return:
+		return "ret"
+	default:
+		return fmt.Sprintf("BranchKind(%d)", uint8(k))
+	}
+}
+
+// Inst is one dynamic instruction as produced by a path walker. For branch
+// instructions, Taken and Target describe the *actual* outcome on the path
+// being walked (the correct path for the oracle walker, the speculative
+// path for a wrong-path walker).
+type Inst struct {
+	// PC is the instruction's address.
+	PC Addr
+	// Size is the instruction length in bytes.
+	Size uint8
+	// Kind classifies control flow.
+	Kind BranchKind
+	// Taken is the actual direction for CondDirect; unconditional branches
+	// always have Taken == true, non-branches false.
+	Taken bool
+	// Target is the actual target when Taken.
+	Target Addr
+}
+
+// NextPC returns the address of the instruction that follows this one on
+// the walked path.
+func (in Inst) NextPC() Addr {
+	if in.Kind.IsBranch() && in.Taken {
+		return in.Target
+	}
+	return in.PC + Addr(in.Size)
+}
+
+// FallThrough returns the sequential next address regardless of branching.
+func (in Inst) FallThrough() Addr { return in.PC + Addr(in.Size) }

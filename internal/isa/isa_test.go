@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineGeometry(t *testing.T) {
+	cases := []struct {
+		addr   Addr
+		line   Addr
+		offset int
+	}{
+		{0x0, 0x0, 0},
+		{0x3f, 0x0, 63},
+		{0x40, 0x40, 0},
+		{0x1234, 0x1200, 0x34},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("Line(%v) = %v, want %v", c.addr, got, c.line)
+		}
+		if got := c.addr.LineOffset(); got != c.offset {
+			t.Errorf("LineOffset(%v) = %d, want %d", c.addr, got, c.offset)
+		}
+	}
+}
+
+func TestLineProperty(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		ln := addr.Line()
+		return ln%LineSize == 0 && addr >= ln && addr < ln+LineSize &&
+			ln+Addr(addr.LineOffset()) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchKindPredicates(t *testing.T) {
+	cases := []struct {
+		kind                           BranchKind
+		branch, call, indirect, uncond bool
+	}{
+		{NotBranch, false, false, false, false},
+		{CondDirect, true, false, false, false},
+		{UncondDirect, true, false, false, true},
+		{DirectCall, true, true, false, true},
+		{IndirectJump, true, false, true, true},
+		{IndirectCall, true, true, true, true},
+		{Return, true, false, true, true},
+	}
+	for _, c := range cases {
+		if c.kind.IsBranch() != c.branch {
+			t.Errorf("%v.IsBranch() = %v", c.kind, !c.branch)
+		}
+		if c.kind.IsCall() != c.call {
+			t.Errorf("%v.IsCall() = %v", c.kind, !c.call)
+		}
+		if c.kind.IsIndirect() != c.indirect {
+			t.Errorf("%v.IsIndirect() = %v", c.kind, !c.indirect)
+		}
+		if c.kind.IsUnconditional() != c.uncond {
+			t.Errorf("%v.IsUnconditional() = %v", c.kind, !c.uncond)
+		}
+	}
+}
+
+func TestInstNextPC(t *testing.T) {
+	plain := Inst{PC: 0x100, Size: 4, Kind: NotBranch}
+	if plain.NextPC() != 0x104 {
+		t.Errorf("plain NextPC = %v", plain.NextPC())
+	}
+	taken := Inst{PC: 0x100, Size: 2, Kind: CondDirect, Taken: true, Target: 0x900}
+	if taken.NextPC() != 0x900 {
+		t.Errorf("taken NextPC = %v", taken.NextPC())
+	}
+	notTaken := Inst{PC: 0x100, Size: 2, Kind: CondDirect, Taken: false, Target: 0x900}
+	if notTaken.NextPC() != 0x102 {
+		t.Errorf("not-taken NextPC = %v", notTaken.NextPC())
+	}
+	if notTaken.FallThrough() != 0x102 {
+		t.Errorf("FallThrough = %v", notTaken.FallThrough())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := NotBranch; k <= Return; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty string", k)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package mem wires the cache levels of Table 1 into a hierarchy and
+// provides the three access paths the core uses: demand instruction fetch,
+// instruction prefetch, and data access. Latencies accumulate down the
+// hierarchy (L1 2, L2 10, L3 20, then DRAM), fills are inclusive, and MSHR
+// exhaustion delays demands but drops prefetches, as in the paper's §5.
+package mem
+
+import (
+	"pdip/internal/cache"
+	"pdip/internal/isa"
+)
+
+// Level identifies which level served an access.
+type Level uint8
+
+const (
+	// LevelL1 means the first-level cache (L1I or L1D) hit.
+	LevelL1 Level = iota
+	// LevelL2 means the access missed L1 and hit L2.
+	LevelL2
+	// LevelL3 means the access missed L1 and L2 and hit L3.
+	LevelL3
+	// LevelMem means the access went to DRAM.
+	LevelMem
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	default:
+		return "Mem"
+	}
+}
+
+// Config sizes the hierarchy.
+type Config struct {
+	L1I, L1D, L2, L3 cache.Config
+	// DRAMLatency is the flat main-memory latency in cycles.
+	DRAMLatency int
+}
+
+// DefaultConfig mirrors the paper's Table 1 (Golden Cove-like).
+func DefaultConfig() Config {
+	return Config{
+		L1I:         cache.Config{Name: "L1I", SizeBytes: 32 << 10, Ways: 8, HitLatency: 2, MSHRs: 16},
+		L1D:         cache.Config{Name: "L1D", SizeBytes: 64 << 10, Ways: 16, HitLatency: 2, MSHRs: 16},
+		L2:          cache.Config{Name: "L2", SizeBytes: 1 << 20, Ways: 16, HitLatency: 10, MSHRs: 32},
+		L3:          cache.Config{Name: "L3", SizeBytes: 2 << 20, Ways: 16, HitLatency: 20, MSHRs: 64},
+		DRAMLatency: 150,
+	}
+}
+
+// Hierarchy is the assembled memory system.
+type Hierarchy struct {
+	L1I, L1D, L2, L3 *cache.Cache
+	DRAMLatency      int
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) (*Hierarchy, error) {
+	l1i, err := cache.New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := cache.New(cfg.L3)
+	if err != nil {
+		return nil, err
+	}
+	dram := cfg.DRAMLatency
+	if dram <= 0 {
+		dram = 150
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, L3: l3, DRAMLatency: dram}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// AccessResult describes one hierarchy access.
+type AccessResult struct {
+	// Done is the cycle the data is available to the requester.
+	Done int64
+	// L1Hit is true when the first-level cache held the line (possibly
+	// still in flight).
+	L1Hit bool
+	// WasInflight is true when the L1 hit landed on an outstanding fill
+	// (a "partial hit").
+	WasInflight bool
+	// WasPrefetch is true when the L1 line was prefetch-installed and
+	// this was its first demand touch.
+	WasPrefetch bool
+	// ServedBy is the level that supplied the data on an L1 miss (LevelL1
+	// on hits).
+	ServedBy Level
+	// Dropped is true when a prefetch was discarded (already present, or
+	// insufficient MSHR headroom).
+	Dropped bool
+}
+
+// fillLatency walks L2→L3→DRAM for a line missing in L1, updating lower
+// levels (demand fills), and returns the absolute completion cycle and the
+// serving level. class attributes L2/L3 miss stats to inst or data.
+func (h *Hierarchy) fillLatency(line isa.Addr, now int64, class cache.Class) (int64, Level) {
+	t := now
+	if r := h.L2.Access(line, t, class); r.Hit {
+		return r.ReadyAt, LevelL2
+	}
+	t += int64(h.L2.Config().HitLatency) // time to determine the L2 miss
+	served := LevelL3
+	var ready int64
+	if r := h.L3.Access(line, t, class); r.Hit {
+		ready = r.ReadyAt
+	} else {
+		t += int64(h.L3.Config().HitLatency)
+		served = LevelMem
+		// DRAM access, delayed if the L3 MSHR file is saturated.
+		start := h.L3.EarliestMSHRFree(t)
+		ready = start + int64(h.DRAMLatency)
+		h.L3.Fill(line, t, ready, cache.FillOpts{})
+	}
+	// Fill L2 inclusively; respect its MSHR file.
+	start := h.L2.EarliestMSHRFree(t)
+	if start > ready {
+		ready = start
+	}
+	h.L2.Fill(line, t, ready, cache.FillOpts{})
+	return ready, served
+}
+
+// FetchInst performs a demand instruction fetch of line at cycle now.
+// priority propagates the EMISSARY P-bit to fills of promoted lines.
+func (h *Hierarchy) FetchInst(line isa.Addr, now int64, priority bool) AccessResult {
+	if r := h.L1I.Access(line, now, cache.ClassInst); r.Hit {
+		return AccessResult{
+			Done:        r.ReadyAt,
+			L1Hit:       true,
+			WasInflight: r.WasInflight,
+			WasPrefetch: r.WasPrefetch,
+			ServedBy:    LevelL1,
+		}
+	}
+	// L1I miss: a demand fetch waits for an MSHR if none is free.
+	start := h.L1I.EarliestMSHRFree(now)
+	ready, served := h.fillLatency(line, start, cache.ClassInst)
+	h.L1I.Fill(line, now, ready, cache.FillOpts{Priority: priority})
+	return AccessResult{Done: ready, ServedBy: served}
+}
+
+// PrefetchInst issues a prefetch of line into the L1I at cycle now,
+// keeping reserveMSHRs L1I MSHR entries free for demand fetches. The
+// prefetch is dropped when the line is already present/in flight or when
+// headroom is insufficient (§5: threshold of 2). priority propagates the
+// EMISSARY P-bit. zeroCost installs the line instantly (the paper's
+// zero-cost timeliness study).
+func (h *Hierarchy) PrefetchInst(line isa.Addr, now int64, reserveMSHRs int, priority, zeroCost bool) AccessResult {
+	if h.L1I.Contains(line) {
+		return AccessResult{Dropped: true}
+	}
+	if zeroCost {
+		h.L1I.Fill(line, now, now, cache.FillOpts{Prefetch: true, Priority: priority})
+		return AccessResult{Done: now, ServedBy: LevelL1}
+	}
+	if h.L1I.MSHRFree(now) <= reserveMSHRs {
+		return AccessResult{Dropped: true}
+	}
+	ready, served := h.fillLatency(line, now, cache.ClassInst)
+	h.L1I.Fill(line, now, ready, cache.FillOpts{Prefetch: true, Priority: priority})
+	return AccessResult{Done: ready, ServedBy: served}
+}
+
+// PrimeInst is the FDIP fill path: a new FTQ entry primes the L1I for its
+// lines ahead of demand fetch. It behaves like PrefetchInst but does not
+// mark the line as prefetched, keeping the prefetcher accuracy metrics
+// (Table 4) scoped to the PQ prefetcher under study — FDIP is part of the
+// baseline, not the prefetcher being measured.
+func (h *Hierarchy) PrimeInst(line isa.Addr, now int64, reserveMSHRs int, priority bool) AccessResult {
+	if h.L1I.Contains(line) {
+		return AccessResult{Dropped: true}
+	}
+	if h.L1I.MSHRFree(now) <= reserveMSHRs {
+		return AccessResult{Dropped: true}
+	}
+	ready, served := h.fillLatency(line, now, cache.ClassInst)
+	h.L1I.Fill(line, now, ready, cache.FillOpts{Priority: priority})
+	return AccessResult{Done: ready, ServedBy: served}
+}
+
+// AccessData performs a demand data access (load/store treated alike).
+func (h *Hierarchy) AccessData(line isa.Addr, now int64) AccessResult {
+	if r := h.L1D.Access(line, now, cache.ClassData); r.Hit {
+		return AccessResult{Done: r.ReadyAt, L1Hit: true, WasInflight: r.WasInflight, ServedBy: LevelL1}
+	}
+	start := h.L1D.EarliestMSHRFree(now)
+	ready, served := h.fillLatency(line, start, cache.ClassData)
+	h.L1D.Fill(line, now, ready, cache.FillOpts{})
+	return AccessResult{Done: ready, ServedBy: served}
+}
+
+// PromoteInstLine sets the EMISSARY P-bit on line wherever it is resident
+// (L1I and L2), used when a line qualifies as FEC at retirement.
+func (h *Hierarchy) PromoteInstLine(line isa.Addr) {
+	h.L1I.Promote(line)
+	h.L2.Promote(line)
+}

@@ -1,0 +1,388 @@
+// Package pdip implements Priority Directed Instruction Prefetching, the
+// paper's contribution (§4–§5).
+//
+// PDIP issues prefetches only for front-end-critical (FEC) lines — lines
+// that missed the L1-I and exposed the front-end to stalls FDIP could not
+// hide — and triggers each prefetch from the block address of the
+// instruction that disrupted the front-end: the resteering (mispredicted
+// or BTB-missing) branch, or, for long-latency misses with no resteer, the
+// last retired taken branch. The trigger→target association lives in the
+// PDIP table: set-associative, indexed and tagged by trigger block
+// address, each entry holding up to two target lines plus a 4-bit mask
+// naming up to four following blocks per target.
+package pdip
+
+import (
+	"pdip/internal/isa"
+	"pdip/internal/prefetch"
+	"pdip/internal/rng"
+)
+
+// Config parameterises the PDIP table and insertion filters (§5).
+type Config struct {
+	// Sets is the number of table sets; the paper fixes 512 and scales
+	// capacity by associativity.
+	Sets int
+	// Ways is the associativity (2→11KB, 4→22KB, 8→43.5KB, 16→87KB).
+	Ways int
+	// TargetsPerEntry is the number of target slots per entry (paper: 2).
+	TargetsPerEntry int
+	// MaskBits is the number of following blocks each target can name
+	// (paper: 4).
+	MaskBits int
+	// TagBits sizes the partial tag (paper: 10).
+	TagBits int
+	// InsertProb inserts qualifying FEC lines with this probability
+	// (§5.3: 0.25 performs best; 1.0 disables the filter).
+	InsertProb float64
+	// RequireHighCost restricts insertion to high-cost FEC lines (>10
+	// starvation cycles) that also saw back-end stalls (§4.1, §5.3).
+	RequireHighCost bool
+	// IgnoreReturns skips insertion when the resteer was a return
+	// mispredict (§5.2: reduces table pollution).
+	IgnoreReturns bool
+	// Seed drives the probabilistic-insertion RNG.
+	Seed uint64
+}
+
+// TargetAddrBits is the stored physical line-address width used in the
+// paper's storage accounting (34 bits).
+const TargetAddrBits = 34
+
+// DefaultConfig returns the paper's preferred PDIP(44) configuration:
+// 512 sets × 8 ways × 2 targets, 4-bit masks, 10-bit tags, 0.25 insertion.
+func DefaultConfig() Config {
+	return Config{
+		Sets:            512,
+		Ways:            8,
+		TargetsPerEntry: 2,
+		MaskBits:        4,
+		TagBits:         10,
+		InsertProb:      0.25,
+		RequireHighCost: true,
+		IgnoreReturns:   true,
+		Seed:            0x9d1b,
+	}
+}
+
+// ConfigForWays returns the default configuration at a given associativity
+// (the paper's PDIP(11)/(22)/(44)/(87) sweep).
+func ConfigForWays(ways int) Config {
+	c := DefaultConfig()
+	c.Ways = ways
+	return c
+}
+
+// StorageKB computes the table's metadata budget exactly as §5.4 does:
+// per way, TagBits + 1 LRU bit + TargetsPerEntry×(34-bit address + mask).
+func (c Config) StorageKB() float64 {
+	bitsPerEntry := c.TagBits + 1 + c.TargetsPerEntry*(TargetAddrBits+c.MaskBits)
+	totalBits := c.Sets * c.Ways * bitsPerEntry
+	return float64(totalBits) / 8192.0
+}
+
+type target struct {
+	valid bool
+	base  isa.Addr // line address of the FEC prefetch candidate
+	mask  uint8    // bit k set → also prefetch base + (k+1) lines
+	trig  prefetch.TriggerKind
+	lru   uint32
+}
+
+type entry struct {
+	valid   bool
+	tag     uint32
+	lru     uint32
+	targets []target
+}
+
+// Stats counts PDIP-specific events.
+type Stats struct {
+	// InsertAttempts counts qualifying FEC retirements seen.
+	InsertAttempts uint64
+	// InsertFiltered counts attempts rejected by the insertion coin.
+	InsertFiltered uint64
+	// InsertNoTrigger counts attempts with no usable trigger.
+	InsertNoTrigger uint64
+	// InsertReturnSkipped counts return-resteer insertions skipped.
+	InsertReturnSkipped uint64
+	// Inserted counts new target placements.
+	Inserted uint64
+	// MaskMerged counts insertions folded into an existing target's mask.
+	MaskMerged uint64
+	// Lookups and Hits count FTQ-insert table probes.
+	Lookups uint64
+	Hits    uint64
+}
+
+// PDIP is the prefetcher.
+type PDIP struct {
+	cfg  Config
+	sets [][]entry
+	tick uint32
+	r    *rng.RNG
+
+	Stats Stats
+
+	// DebugInserted, when allocated by a test, records every line ever
+	// placed (or mask-merged) as a prefetch target.
+	DebugInserted map[isa.Addr]struct{}
+	// DebugLog, when set by a test, receives table events:
+	// kind ∈ {"insert", "merge", "emit", "evict-target"}.
+	DebugLog func(kind string, trigger, line isa.Addr)
+}
+
+// New builds a PDIP prefetcher; zero-value fields of cfg fall back to the
+// paper defaults.
+func New(cfg Config) *PDIP {
+	def := DefaultConfig()
+	if cfg.Sets == 0 {
+		cfg.Sets = def.Sets
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = def.Ways
+	}
+	if cfg.TargetsPerEntry == 0 {
+		cfg.TargetsPerEntry = def.TargetsPerEntry
+	}
+	if cfg.MaskBits == 0 {
+		cfg.MaskBits = def.MaskBits
+	}
+	if cfg.MaskBits < 0 {
+		cfg.MaskBits = 0 // explicit no-mask ablation
+	}
+	if cfg.TagBits == 0 {
+		cfg.TagBits = def.TagBits
+	}
+	if cfg.InsertProb == 0 {
+		cfg.InsertProb = def.InsertProb
+	}
+	p := &PDIP{
+		cfg:  cfg,
+		sets: make([][]entry, cfg.Sets),
+		r:    rng.New(cfg.Seed ^ 0x9d19),
+	}
+	for i := range p.sets {
+		ways := make([]entry, cfg.Ways)
+		for w := range ways {
+			ways[w].targets = make([]target, cfg.TargetsPerEntry)
+		}
+		p.sets[i] = ways
+	}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *PDIP) Name() string { return "pdip" }
+
+// StorageKB implements prefetch.Prefetcher.
+func (p *PDIP) StorageKB() float64 { return p.cfg.StorageKB() }
+
+// Config returns the active configuration.
+func (p *PDIP) Config() Config { return p.cfg }
+
+// indexTag splits a trigger block address into set index and partial tag.
+// Triggers are block (line) addresses, so the line number indexes the set.
+func (p *PDIP) indexTag(block isa.Addr) (int, uint32) {
+	ln := uint64(block) >> isa.LineShift
+	set := int(ln % uint64(p.cfg.Sets))
+	tag := uint32(ln/uint64(p.cfg.Sets)) & ((1 << p.cfg.TagBits) - 1)
+	return set, tag
+}
+
+// OnFTQInsert implements prefetch.Prefetcher: probe the table with the new
+// FTQ entry's block address; on a hit, emit every associated target line
+// plus its masked following blocks.
+func (p *PDIP) OnFTQInsert(block isa.Addr, out []prefetch.Request) []prefetch.Request {
+	p.Stats.Lookups++
+	set, tag := p.indexTag(block.Line())
+	for w := range p.sets[set] {
+		e := &p.sets[set][w]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		p.Stats.Hits++
+		p.tick++
+		e.lru = p.tick
+		for t := range e.targets {
+			tg := &e.targets[t]
+			if !tg.valid {
+				continue
+			}
+			if p.DebugLog != nil {
+				p.DebugLog("emit", block.Line(), tg.base)
+			}
+			out = append(out, prefetch.Request{Line: tg.base, Trigger: tg.trig})
+			for k := 0; k < p.cfg.MaskBits; k++ {
+				if tg.mask&(1<<k) != 0 {
+					out = append(out, prefetch.Request{
+						Line:    tg.base + isa.Addr((k+1)*isa.LineSize),
+						Trigger: tg.trig,
+					})
+				}
+			}
+		}
+		break
+	}
+	return out
+}
+
+// OnLineRetired implements prefetch.Prefetcher: qualify the retired line
+// episode as a prefetch candidate and associate it with its trigger.
+func (p *PDIP) OnLineRetired(ev prefetch.RetireEvent) {
+	if !ev.FEC {
+		return
+	}
+	if p.cfg.RequireHighCost && !(ev.HighCost && ev.BackendEmpty) {
+		return
+	}
+	p.Stats.InsertAttempts++
+
+	var trigBlock isa.Addr
+	var kind prefetch.TriggerKind
+	switch {
+	case ev.ResteerTrigger != 0:
+		if p.cfg.IgnoreReturns && ev.ResteerWasReturn {
+			p.Stats.InsertReturnSkipped++
+			return
+		}
+		trigBlock = ev.ResteerTrigger.Line()
+		kind = prefetch.TriggerMispredict
+	case ev.LastTakenBlock != 0:
+		trigBlock = ev.LastTakenBlock.Line()
+		kind = prefetch.TriggerLastTaken
+	default:
+		p.Stats.InsertNoTrigger++
+		return
+	}
+	// Self-triggering entries are useless: by the time the trigger block
+	// is seen the target is being fetched already.
+	if trigBlock == ev.Line {
+		return
+	}
+
+	if !p.r.Bool(p.cfg.InsertProb) {
+		p.Stats.InsertFiltered++
+		return
+	}
+	if p.DebugInserted != nil {
+		p.DebugInserted[ev.Line] = struct{}{}
+	}
+	p.insert(trigBlock, ev.Line, kind)
+}
+
+// insert places (trigger → targetLine) into the table, folding the target
+// into an existing entry's mask when it is within MaskBits following
+// blocks of a stored base.
+func (p *PDIP) insert(trigBlock, targetLine isa.Addr, kind prefetch.TriggerKind) {
+	set, tag := p.indexTag(trigBlock)
+	ways := p.sets[set]
+	p.tick++
+
+	// Find the entry for this trigger.
+	var e *entry
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			e = &ways[w]
+			break
+		}
+	}
+	if e == nil {
+		// Allocate the LRU way.
+		victim := 0
+		var oldest uint32 = ^uint32(0)
+		for w := range ways {
+			if !ways[w].valid {
+				victim = w
+				oldest = 0
+				break
+			}
+			if ways[w].lru < oldest {
+				victim, oldest = w, ways[w].lru
+			}
+		}
+		e = &ways[victim]
+		e.valid = true
+		e.tag = tag
+		for t := range e.targets {
+			e.targets[t] = target{}
+		}
+	}
+	e.lru = p.tick
+
+	// Merge into an existing target when the line is the base or within
+	// the mask window of a stored base.
+	for t := range e.targets {
+		tg := &e.targets[t]
+		if !tg.valid {
+			continue
+		}
+		if targetLine == tg.base {
+			tg.lru = p.tick
+			return
+		}
+
+		if targetLine > tg.base {
+			delta := int(targetLine-tg.base) / isa.LineSize
+			if delta >= 1 && delta <= p.cfg.MaskBits {
+				tg.mask |= 1 << (delta - 1)
+				tg.lru = p.tick
+				p.Stats.MaskMerged++
+				return
+			}
+		}
+	}
+	// Place in a free target slot, else replace the LRU target.
+	victim := -1
+	var oldest uint32 = ^uint32(0)
+	for t := range e.targets {
+		tg := &e.targets[t]
+		if !tg.valid {
+			victim = t
+			break
+		}
+		if tg.lru < oldest {
+			victim, oldest = t, tg.lru
+		}
+	}
+	if p.DebugLog != nil {
+		if old := e.targets[victim]; old.valid {
+			p.DebugLog("evict-target", trigBlock, old.base)
+		}
+		p.DebugLog("insert", trigBlock, targetLine)
+	}
+	e.targets[victim] = target{valid: true, base: targetLine, trig: kind, lru: p.tick}
+	p.Stats.Inserted++
+}
+
+// ResetStats zeroes the counters while keeping table state warm (used at
+// the end of the measurement warmup window).
+func (p *PDIP) ResetStats() { p.Stats = Stats{} }
+
+// DebugHolds reports whether the table currently associates trigger with
+// line (directly or via a mask bit). Test/diagnostic use only.
+func (p *PDIP) DebugHolds(trigger, line isa.Addr) bool {
+	set, tag := p.indexTag(trigger.Line())
+	for w := range p.sets[set] {
+		e := &p.sets[set][w]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		for t := range e.targets {
+			tg := &e.targets[t]
+			if !tg.valid {
+				continue
+			}
+			if line == tg.base {
+				return true
+			}
+			if line > tg.base {
+				d := int(line-tg.base) / isa.LineSize
+				if d >= 1 && d <= p.cfg.MaskBits && tg.mask&(1<<(d-1)) != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

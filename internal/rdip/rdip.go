@@ -1,0 +1,204 @@
+// Package rdip implements a Return-address-stack Directed Instruction
+// Prefetcher in the spirit of Kolli, Saidi & Wenisch (MICRO '13), one of
+// the context-signature baselines the paper's §8 surveys.
+//
+// The key observation of RDIP: the misses seen in a given calling context
+// repeat the next time the same context recurs. The context is captured as
+// a hash of the return address stack; a signature table maps each context
+// to the lines that missed in it last time, and a context switch (call or
+// return retiring) prefetches the new context's recorded miss set.
+package rdip
+
+import (
+	"pdip/internal/isa"
+	"pdip/internal/prefetch"
+)
+
+// Config sizes the signature table.
+type Config struct {
+	// Sets and Ways size the signature table.
+	Sets, Ways int
+	// LinesPerEntry caps the miss lines recorded per context.
+	LinesPerEntry int
+	// RASDepth is the depth of the prefetcher's private RAS mirror.
+	RASDepth int
+	// TagBits sizes the partial signature tag.
+	TagBits int
+}
+
+// DefaultConfig returns a ≈32KB-class RDIP.
+func DefaultConfig() Config {
+	return Config{Sets: 512, Ways: 4, LinesPerEntry: 4, RASDepth: 16, TagBits: 10}
+}
+
+// StorageKB reports the signature-table budget (34-bit line addresses,
+// matching the accounting used for PDIP and EIP).
+func (c Config) StorageKB() float64 {
+	bitsPerEntry := c.TagBits + 1 + c.LinesPerEntry*34
+	return float64(c.Sets*c.Ways*bitsPerEntry) / 8192.0
+}
+
+type entry struct {
+	valid bool
+	tag   uint32
+	lru   uint32
+	lines []isa.Addr
+}
+
+// Stats counts RDIP events.
+type Stats struct {
+	// ContextSwitches counts retired calls + returns.
+	ContextSwitches uint64
+	// Recorded counts miss lines recorded into contexts.
+	Recorded uint64
+	// Hits counts context switches that found a recorded miss set.
+	Hits uint64
+}
+
+// RDIP is the prefetcher.
+type RDIP struct {
+	cfg  Config
+	sets [][]entry
+	tick uint32
+
+	// ras mirrors the call stack for signature computation.
+	ras []isa.Addr
+	// sig is the current context signature.
+	sig uint64
+
+	pending []prefetch.Request
+
+	Stats Stats
+}
+
+// New builds an RDIP instance.
+func New(cfg Config) *RDIP {
+	if cfg.Sets == 0 {
+		cfg = DefaultConfig()
+	}
+	r := &RDIP{cfg: cfg, sets: make([][]entry, cfg.Sets)}
+	for i := range r.sets {
+		ways := make([]entry, cfg.Ways)
+		for w := range ways {
+			ways[w].lines = make([]isa.Addr, 0, cfg.LinesPerEntry)
+		}
+		r.sets[i] = ways
+	}
+	return r
+}
+
+// Name implements prefetch.Prefetcher.
+func (r *RDIP) Name() string { return "rdip" }
+
+// StorageKB implements prefetch.Prefetcher.
+func (r *RDIP) StorageKB() float64 { return r.cfg.StorageKB() }
+
+// OnFTQInsert implements prefetch.Prefetcher: RDIP is context-driven, not
+// access-driven, so the FTQ stream is not consulted.
+func (r *RDIP) OnFTQInsert(_ isa.Addr, out []prefetch.Request) []prefetch.Request {
+	return out
+}
+
+// OnLineRetired implements prefetch.Prefetcher: record misses under the
+// current context signature.
+func (r *RDIP) OnLineRetired(ev prefetch.RetireEvent) {
+	if !ev.Missed {
+		return
+	}
+	set, tag := r.indexTag()
+	e := r.findOrAlloc(set, tag)
+	for _, l := range e.lines {
+		if l == ev.Line {
+			return
+		}
+	}
+	if len(e.lines) >= r.cfg.LinesPerEntry {
+		copy(e.lines, e.lines[1:])
+		e.lines[len(e.lines)-1] = ev.Line
+	} else {
+		e.lines = append(e.lines, ev.Line)
+	}
+	r.Stats.Recorded++
+}
+
+// OnCallReturn implements the core's call/return observer: update the RAS
+// mirror and signature, and prefetch the new context's recorded misses.
+func (r *RDIP) OnCallReturn(isCall bool, _ isa.Addr, returnAddr isa.Addr) {
+	r.Stats.ContextSwitches++
+	if isCall {
+		if len(r.ras) < r.cfg.RASDepth {
+			r.ras = append(r.ras, returnAddr)
+		}
+	} else if len(r.ras) > 0 {
+		r.ras = r.ras[:len(r.ras)-1]
+	}
+	r.recomputeSig()
+
+	set, tag := r.indexTag()
+	for w := range r.sets[set] {
+		e := &r.sets[set][w]
+		if e.valid && e.tag == tag {
+			r.Stats.Hits++
+			r.tick++
+			e.lru = r.tick
+			for _, l := range e.lines {
+				r.pending = append(r.pending, prefetch.Request{Line: l, Trigger: prefetch.TriggerNone})
+			}
+			return
+		}
+	}
+}
+
+// TakePending implements prefetch.RetireEmitter.
+func (r *RDIP) TakePending(out []prefetch.Request) []prefetch.Request {
+	out = append(out, r.pending...)
+	r.pending = r.pending[:0]
+	return out
+}
+
+// recomputeSig hashes the whole RAS (the original RDIP formulation).
+func (r *RDIP) recomputeSig() {
+	var h uint64 = 1469598103934665603
+	for _, a := range r.ras {
+		h ^= uint64(a) >> 2
+		h *= 1099511628211
+	}
+	r.sig = h
+}
+
+func (r *RDIP) indexTag() (int, uint32) {
+	set := int(r.sig % uint64(r.cfg.Sets))
+	tag := uint32(r.sig/uint64(r.cfg.Sets)) & ((1 << r.cfg.TagBits) - 1)
+	return set, tag
+}
+
+func (r *RDIP) findOrAlloc(set int, tag uint32) *entry {
+	ways := r.sets[set]
+	r.tick++
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			ways[w].lru = r.tick
+			return &ways[w]
+		}
+	}
+	victim := 0
+	var oldest uint32 = ^uint32(0)
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].lru < oldest {
+			victim, oldest = w, ways[w].lru
+		}
+	}
+	e := &ways[victim]
+	e.valid = true
+	e.tag = tag
+	e.lru = r.tick
+	e.lines = e.lines[:0]
+	return e
+}
+
+// ResetStats zeroes counters, keeping table state warm.
+func (r *RDIP) ResetStats() { r.Stats = Stats{} }

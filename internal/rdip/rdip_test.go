@@ -1,0 +1,117 @@
+package rdip
+
+import (
+	"testing"
+
+	"pdip/internal/isa"
+	"pdip/internal/prefetch"
+)
+
+func miss(line isa.Addr) prefetch.RetireEvent {
+	return prefetch.RetireEvent{Line: line, Missed: true}
+}
+
+func TestRecordAndReplayOnContextSwitch(t *testing.T) {
+	r := New(DefaultConfig())
+	// Enter context (call), record two misses.
+	r.OnCallReturn(true, 0x100, 0x105)
+	r.OnLineRetired(miss(0x9000))
+	r.OnLineRetired(miss(0x9040))
+	// Leave and re-enter the same context: the recorded set replays.
+	r.OnCallReturn(false, 0x200, 0)
+	r.TakePending(nil) // drop whatever the outer context had
+	r.OnCallReturn(true, 0x100, 0x105)
+	reqs := r.TakePending(nil)
+	if len(reqs) != 2 {
+		t.Fatalf("replayed %d lines, want 2", len(reqs))
+	}
+	got := map[isa.Addr]bool{}
+	for _, q := range reqs {
+		got[q.Line] = true
+	}
+	if !got[0x9000] || !got[0x9040] {
+		t.Fatalf("wrong replay set: %+v", reqs)
+	}
+}
+
+func TestDifferentContextsIsolated(t *testing.T) {
+	r := New(DefaultConfig())
+	r.OnCallReturn(true, 0x100, 0x105)
+	r.OnLineRetired(miss(0x9000))
+	r.OnCallReturn(false, 0x200, 0)
+	r.TakePending(nil)
+	// A different call context must not replay the first context's set.
+	r.OnCallReturn(true, 0x300, 0x305)
+	reqs := r.TakePending(nil)
+	for _, q := range reqs {
+		if q.Line == 0x9000 {
+			t.Fatal("context isolation broken")
+		}
+	}
+}
+
+func TestLinesPerEntryCap(t *testing.T) {
+	c := DefaultConfig()
+	c.LinesPerEntry = 2
+	r := New(c)
+	r.OnCallReturn(true, 0x100, 0x105)
+	r.OnLineRetired(miss(0x9000))
+	r.OnLineRetired(miss(0x9040))
+	r.OnLineRetired(miss(0x9080))
+	r.OnCallReturn(false, 0, 0)
+	r.TakePending(nil)
+	r.OnCallReturn(true, 0x100, 0x105)
+	reqs := r.TakePending(nil)
+	if len(reqs) != 2 {
+		t.Fatalf("cap not enforced: %d lines", len(reqs))
+	}
+	for _, q := range reqs {
+		if q.Line == 0x9000 {
+			t.Fatal("oldest line not displaced")
+		}
+	}
+}
+
+func TestDuplicateMissNotRecordedTwice(t *testing.T) {
+	r := New(DefaultConfig())
+	r.OnCallReturn(true, 0x100, 0x105)
+	r.OnLineRetired(miss(0x9000))
+	r.OnLineRetired(miss(0x9000))
+	if r.Stats.Recorded != 1 {
+		t.Fatalf("recorded %d, want 1", r.Stats.Recorded)
+	}
+}
+
+func TestHitsOnlyOnKnownContexts(t *testing.T) {
+	r := New(DefaultConfig())
+	r.OnCallReturn(true, 0x100, 0x105)
+	if r.Stats.Hits != 0 {
+		t.Fatal("hit on a never-seen context")
+	}
+}
+
+func TestStorageAndName(t *testing.T) {
+	r := New(DefaultConfig())
+	if r.Name() != "rdip" {
+		t.Fatalf("name %q", r.Name())
+	}
+	if kb := r.StorageKB(); kb < 10 || kb > 64 {
+		t.Fatalf("storage %.1fKB outside the expected class", kb)
+	}
+}
+
+func TestFTQInsertIsNoOp(t *testing.T) {
+	r := New(DefaultConfig())
+	if got := r.OnFTQInsert(0x40, nil); len(got) != 0 {
+		t.Fatal("RDIP consumed the access stream")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	r := New(DefaultConfig())
+	r.OnCallReturn(true, 0x100, 0x105)
+	r.ResetStats()
+	if r.Stats.ContextSwitches != 0 {
+		t.Fatal("stats not reset")
+	}
+}

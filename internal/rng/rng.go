@@ -1,0 +1,108 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator. Every stochastic decision in a
+// simulation run (workload walk, wrong-path walk, EMISSARY promotion, PDIP
+// insertion) draws from an explicitly seeded generator so that runs are
+// exactly reproducible and independent subsystems can fork disjoint streams.
+package rng
+
+// RNG is a splitmix64 generator. The zero value is a valid generator seeded
+// with zero, but callers should normally use New to mix the seed.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded from seed. Two generators created with
+// different seeds produce uncorrelated streams for practical purposes.
+func New(seed uint64) *RNG {
+	r := &RNG{state: seed}
+	// Warm the state so nearby seeds diverge immediately.
+	r.Uint64()
+	return r
+}
+
+// Fork derives a new independent generator from the current one, keyed by
+// salt. The parent's stream is not advanced, so forking is deterministic
+// with respect to the parent's seed regardless of how much the parent has
+// been used before or after the fork.
+func (r *RNG) Fork(salt uint64) *RNG {
+	return New(mix(r.state ^ mix(salt)))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix(r.state)
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Pick returns an index in [0, len(weights)) chosen with probability
+// proportional to weights[i]. It panics if weights is empty or sums to a
+// non-positive value.
+func (r *RNG) Pick(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if len(weights) == 0 || sum <= 0 {
+		panic("rng: Pick needs positive weights")
+	}
+	x := r.Float64() * sum
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Geometric returns a sample from a geometric-ish distribution with the
+// given mean, clamped to [1, max]. It is used for block and run lengths.
+func (r *RNG) Geometric(mean float64, max int) int {
+	if mean < 1 {
+		mean = 1
+	}
+	p := 1 / mean
+	n := 1
+	for n < max && !r.Bool(p) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	parent.Uint64()
+	f1 := parent.Fork(1)
+	// Forking must not advance the parent stream.
+	ref := New(7)
+	ref.Uint64()
+	refFork := ref.Fork(1)
+	if f1.Uint64() != refFork.Uint64() {
+		t.Fatal("fork is not deterministic in (parent seed, salt)")
+	}
+	if parent.Uint64() != ref.Uint64() {
+		t.Fatal("Fork advanced the parent stream")
+	}
+	// Different salts give different streams.
+	if parent.Fork(2).Uint64() == parent.Fork(3).Uint64() {
+		t.Fatal("fork salts 2 and 3 collide")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestBoolEdgeProbabilities(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := New(5)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) frequency %.3f outside [0.23, 0.27]", frac)
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	r := New(6)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.Pick(w)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight index picked %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight-3:weight-1 ratio %.2f outside [2.7, 3.3]", ratio)
+	}
+}
+
+func TestPickPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick(nil) did not panic")
+		}
+	}()
+	New(1).Pick(nil)
+}
+
+func TestGeometricBounds(t *testing.T) {
+	r := New(8)
+	f := func(seed uint8) bool {
+		v := r.Geometric(4, 20)
+		return v >= 1 && v <= 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(10)
+	sum := 0
+	n := 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(5, 1000)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 4.5 || mean > 5.5 {
+		t.Fatalf("Geometric(5) sample mean %.2f outside [4.5, 5.5]", mean)
+	}
+}

@@ -1,0 +1,312 @@
+// Package trace turns a static synthetic program (package cfg) into dynamic
+// instruction streams.
+//
+// Two kinds of walkers exist:
+//
+//   - The oracle walker produces the committed (architecturally correct)
+//     path: a seeded random walk over the CFG honouring branch biases,
+//     deterministic loop trip counts, call/return semantics, and indirect
+//     target selection. The core simulator compares BPU predictions against
+//     this stream to detect mispredicts.
+//
+//   - A wrong-path walker is forked at a mispredicted target and produces
+//     the speculative path the front-end actually fetches until the resteer:
+//     it walks the CFG from an arbitrary address with its own RNG and an
+//     empty call stack, degrading to a linear byte stream if the address
+//     lands outside any block (e.g. alignment padding), exactly like a real
+//     front-end chasing a bogus target.
+package trace
+
+import (
+	"pdip/internal/cfg"
+	"pdip/internal/isa"
+	"pdip/internal/rng"
+)
+
+// maxCallDepth bounds the simulated call stack: calls at the cap bounce off
+// the callee's return block (see capCall), so runaway recursion unwinds
+// instead of trapping the walk. The cap is kept below the RAS depth (32):
+// real server code rarely overflows the RAS, and an overflowing cap would
+// otherwise turn every deep unwind into a burst of return mispredicts that
+// dominates the resteer mix.
+const maxCallDepth = 28
+
+// Walker produces a dynamic instruction stream over a program.
+type Walker struct {
+	prog *cfg.Program
+	r    *rng.RNG
+
+	// stack holds return addresses for calls.
+	stack []isa.Addr
+	// loopCnt tracks per-block loop-iteration counters (indexed by block
+	// ID) so loop back-edges have deterministic, learnable trip counts.
+	loopCnt []uint16
+
+	// cur is the current block, nil when "lost" (walking addresses that
+	// belong to no block, only possible on wrong paths).
+	cur *cfg.Block
+	// instIdx is the index of the next instruction within cur.
+	instIdx int
+	// lostPC is the next PC when lost.
+	lostPC isa.Addr
+
+	// wrongPath marks forked walkers (affects empty-stack return policy:
+	// a lost wrong path re-enters code at a pseudo-random function).
+	wrongPath bool
+
+	// dispatchCenter is the slowly drifting function index around which
+	// top-level dispatch (empty-stack returns) lands — the walk's phase
+	// center. Drift and occasional jumps model request-type locality.
+	dispatchCenter int
+
+	// count is the number of instructions produced.
+	count uint64
+}
+
+// New returns an oracle walker starting at the program entry.
+func New(prog *cfg.Program, seed uint64) *Walker {
+	w := &Walker{
+		prog:    prog,
+		r:       rng.New(seed),
+		loopCnt: make([]uint16, len(prog.Blocks)),
+	}
+	w.cur = &prog.Blocks[prog.Entry]
+	return w
+}
+
+// Fork creates a wrong-path walker positioned at pc. The fork has its own
+// RNG (salted by pc) and a copy of the parent's call stack — the hardware
+// front-end speculates through returns with the real RAS, so a wrong path
+// that reaches a return rejoins the correct caller. The parent is
+// unaffected.
+func (w *Walker) Fork(pc isa.Addr) *Walker {
+	// Forks carry no loop counters (loopCnt nil): loop back-edges are
+	// sampled probabilistically instead. Wrong paths are short-lived, and
+	// this avoids allocating a per-block array on every mispredict.
+	f := &Walker{
+		prog:           w.prog,
+		r:              w.r.Fork(uint64(pc)),
+		stack:          append([]isa.Addr(nil), w.stack...),
+		dispatchCenter: w.dispatchCenter,
+		wrongPath:      true,
+	}
+	f.jumpTo(pc)
+	return f
+}
+
+// Count returns the number of instructions produced so far.
+func (w *Walker) Count() uint64 { return w.count }
+
+// Depth returns the current call-stack depth.
+func (w *Walker) Depth() int { return len(w.stack) }
+
+// jumpTo repositions the walker at pc, resolving the containing block and
+// instruction index, or entering lost mode.
+func (w *Walker) jumpTo(pc isa.Addr) {
+	blk := w.prog.BlockAt(pc)
+	if blk == nil {
+		w.cur = nil
+		w.lostPC = pc
+		return
+	}
+	// Locate the instruction boundary containing pc. Wrong-path targets
+	// may land mid-instruction; snap to the containing instruction.
+	a := blk.Addr
+	for i, sz := range blk.InstSizes {
+		next := a + isa.Addr(sz)
+		if pc < next {
+			w.cur = blk
+			w.instIdx = i
+			return
+		}
+		a = next
+	}
+	// pc == blk.End() cannot happen (BlockAt checked), but be safe.
+	w.cur = blk
+	w.instIdx = len(blk.InstSizes) - 1
+}
+
+// Next produces the next instruction on this walker's path, including its
+// actual control-flow outcome, and advances past it.
+func (w *Walker) Next() isa.Inst {
+	w.count++
+	if w.cur == nil {
+		in := isa.Inst{PC: w.lostPC, Size: 4, Kind: isa.NotBranch}
+		w.lostPC += 4
+		// A lost wrong path may stumble back into real code.
+		if blk := w.prog.BlockAt(w.lostPC); blk != nil {
+			w.jumpTo(w.lostPC)
+		}
+		return in
+	}
+
+	blk := w.cur
+	pc := blk.Addr
+	for i := 0; i < w.instIdx; i++ {
+		pc += isa.Addr(blk.InstSizes[i])
+	}
+	size := blk.InstSizes[w.instIdx]
+	lastInst := w.instIdx == blk.NumInsts()-1
+
+	if !lastInst || blk.Term.Kind == isa.NotBranch {
+		in := isa.Inst{PC: pc, Size: size, Kind: isa.NotBranch}
+		if lastInst {
+			w.advanceFallThrough(blk)
+		} else {
+			w.instIdx++
+		}
+		return in
+	}
+
+	// Terminator instruction: sample the actual outcome.
+	in := isa.Inst{PC: pc, Size: size, Kind: blk.Term.Kind}
+	switch blk.Term.Kind {
+	case isa.CondDirect:
+		if blk.Term.LoopTrip > 0 {
+			if w.loopCnt == nil {
+				// Wrong-path fork: sample the steady-state taken rate.
+				t := float64(blk.Term.LoopTrip)
+				in.Taken = w.r.Bool((t - 1) / t)
+			} else if cnt := w.loopCnt[blk.ID]; int(cnt)+1 < blk.Term.LoopTrip {
+				in.Taken = true
+				w.loopCnt[blk.ID] = cnt + 1
+			} else {
+				in.Taken = false
+				w.loopCnt[blk.ID] = 0
+			}
+		} else {
+			in.Taken = w.r.Bool(blk.Term.TakenProb)
+		}
+		if in.Taken {
+			in.Target = w.prog.Blocks[blk.Term.TakenBlock].Addr
+			w.gotoBlock(blk.Term.TakenBlock)
+		} else {
+			in.Target = w.prog.Blocks[blk.Term.TakenBlock].Addr
+			w.advanceFallThrough(blk)
+		}
+	case isa.UncondDirect:
+		in.Taken = true
+		in.Target = w.prog.Blocks[blk.Term.TakenBlock].Addr
+		w.gotoBlock(blk.Term.TakenBlock)
+	case isa.DirectCall:
+		in.Taken = true
+		tgt := w.capCall(blk.Term.TakenBlock)
+		in.Target = w.prog.Blocks[tgt].Addr
+		w.pushRet(in.FallThrough())
+		w.gotoBlock(tgt)
+	case isa.IndirectJump:
+		in.Taken = true
+		tgt := w.pickIndirect(blk.Term.IndTargets)
+		in.Target = w.prog.Blocks[tgt].Addr
+		w.gotoBlock(tgt)
+	case isa.IndirectCall:
+		in.Taken = true
+		var tgt int
+		if blk.Term.Dispatch {
+			// Driver loop: dispatch to the next request handler.
+			tgt = w.prog.Funcs[w.dispatchFunc()].FirstBlock
+		} else {
+			tgt = w.capCall(w.pickIndirect(blk.Term.IndTargets))
+		}
+		in.Target = w.prog.Blocks[tgt].Addr
+		w.pushRet(in.FallThrough())
+		w.gotoBlock(tgt)
+	case isa.Return:
+		in.Taken = true
+		in.Target = w.popRet()
+		w.jumpTo(in.Target)
+	}
+	return in
+}
+
+// pickIndirect samples an indirect target: the dominant first target with
+// probability IndirectBias, else uniform over the rest (skewed receiver
+// distributions are what make indirect branches ITTAGE-predictable).
+func (w *Walker) pickIndirect(targets []int) int {
+	bias := w.prog.Params.IndirectBias
+	if len(targets) == 1 || w.r.Bool(bias) {
+		return targets[0]
+	}
+	return targets[1+w.r.Intn(len(targets)-1)]
+}
+
+func (w *Walker) pushRet(addr isa.Addr) {
+	if len(w.stack) >= maxCallDepth {
+		return // tail-call: deepest frames share the caller's return
+	}
+	w.stack = append(w.stack, addr)
+}
+
+// capCall redirects a call at the depth cap to the callee's return block,
+// so runaway recursion (e.g. a mutual-recursion cycle of entry blocks)
+// bounces and unwinds instead of trapping the walk forever.
+func (w *Walker) capCall(calleeEntry int) int {
+	if len(w.stack) < maxCallDepth {
+		return calleeEntry
+	}
+	fn := w.prog.Funcs[w.prog.Blocks[calleeEntry].Func]
+	return fn.FirstBlock + fn.NumBlocks - 1
+}
+
+// popRet pops a return address; with an empty stack (only possible on
+// wrong paths that over-unwind) the walk falls back to the driver loop.
+func (w *Walker) popRet() isa.Addr {
+	if n := len(w.stack); n > 0 {
+		addr := w.stack[n-1]
+		w.stack = w.stack[:n-1]
+		return addr
+	}
+	return w.prog.Blocks[w.prog.Entry].Addr
+}
+
+// dispatchFunc selects a function for top-level dispatch. The center
+// drifts a few indices per dispatch and occasionally jumps to a random
+// (hot-weighted) function, so the walk's active region — the union of the
+// dispatch neighbourhood and the local call subtrees hanging off it —
+// moves slowly across the footprint.
+func (w *Walker) dispatchFunc() int {
+	p := w.prog.Params
+	n := len(w.prog.Funcs)
+	// Zipf-like request mix: most dispatches go to the hot handler set.
+	if hot := w.prog.HotHandlers(); len(hot) > 0 && w.r.Bool(p.DispatchHotFrac) {
+		return hot[w.r.Intn(len(hot))]
+	}
+	if w.r.Bool(p.DispatchJump) {
+		w.dispatchCenter = w.prog.PickGlobalFunc(w.r)
+	} else if d := p.DispatchDrift; d > 0 {
+		w.dispatchCenter += w.r.Intn(2*d+1) - d
+	}
+	// Wrap the center toroidally so drift never sticks at a boundary.
+	w.dispatchCenter = ((w.dispatchCenter % n) + n) % n
+	noise := p.DispatchNoise
+	if noise < 1 {
+		noise = 1
+	}
+	f := w.dispatchCenter + w.r.Intn(2*noise+1) - noise
+	f = ((f % n) + n) % n
+	// Dispatch always enters a request handler (call-graph layer 0),
+	// never the driver itself (function 0).
+	if c := w.prog.SnapToLayer(f, 0); c > 0 {
+		return c
+	}
+	if c := w.prog.SnapToLayer(16, 0); c > 0 {
+		return c
+	}
+	return f
+}
+
+func (w *Walker) gotoBlock(id int) {
+	w.cur = &w.prog.Blocks[id]
+	w.instIdx = 0
+}
+
+// advanceFallThrough moves to the next sequential block; at the end of the
+// program it wraps to the entry (cannot happen in generated programs, whose
+// final block returns).
+func (w *Walker) advanceFallThrough(blk *cfg.Block) {
+	next := blk.ID + 1
+	if next >= len(w.prog.Blocks) {
+		next = w.prog.Entry
+	}
+	w.gotoBlock(next)
+}

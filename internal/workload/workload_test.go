@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"pdip/internal/isa"
+	"pdip/internal/trace"
+)
+
+func TestSixteenBenchmarks(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("got %d benchmarks, want the paper's 16", len(all))
+	}
+	want := []string{"cassandra", "tomcat", "kafka", "xalan", "finagle-http", "dotty",
+		"tpcc", "ycsb", "twitter", "voter", "smallbank", "tatp", "sibench", "noop",
+		"verilator", "speedometer2.0"}
+	for i, p := range all {
+		if p.Name != want[i] {
+			t.Fatalf("benchmark %d = %q, want %q (paper order)", i, p.Name, want[i])
+		}
+		if p.Suite == "" || p.Description == "" {
+			t.Fatalf("benchmark %q missing metadata", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("tpcc")
+	if err != nil || p.Name != "tpcc" {
+		t.Fatalf("ByName: %v %v", p.Name, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestProgramsGenerateAndExceedL1I(t *testing.T) {
+	for _, p := range All() {
+		prog, err := p.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		// The defining property of every benchmark: the footprint is far
+		// larger than the 32KB L1I.
+		if prog.FootprintBytes() < 4*32<<10 {
+			t.Fatalf("%s footprint %dKB too small for a front-end-bound workload",
+				p.Name, prog.FootprintBytes()>>10)
+		}
+	}
+}
+
+func TestProgramCaching(t *testing.T) {
+	p, _ := ByName("ycsb")
+	a, err := p.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Program()
+	if a != b {
+		t.Fatal("program not cached")
+	}
+}
+
+func TestVerilatorHasLongBlocks(t *testing.T) {
+	v, _ := ByName("verilator")
+	c, _ := ByName("cassandra")
+	if v.CFG.InstsPerBlockMean <= c.CFG.InstsPerBlockMean {
+		t.Fatal("verilator should have unusually long basic blocks (§7.4)")
+	}
+}
+
+func TestDataHeavyTrio(t *testing.T) {
+	// §7.1: dotty, tatp, smallbank pressure the L2 with data.
+	base, _ := ByName("cassandra")
+	for _, name := range []string{"dotty", "tatp", "smallbank"} {
+		p, _ := ByName(name)
+		if p.DataColdLines <= base.DataColdLines {
+			t.Fatalf("%s cold data set not larger than default", name)
+		}
+	}
+}
+
+func TestWalksMakeProgress(t *testing.T) {
+	// Every profile must sustain a non-degenerate walk: enough distinct
+	// lines per window that the L1I is actually pressured.
+	for _, p := range All() {
+		prog, err := p.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := trace.New(prog, 1234)
+		lines := map[isa.Addr]struct{}{}
+		for i := 0; i < 100000; i++ {
+			lines[w.Next().PC.Line()] = struct{}{}
+		}
+		if len(lines)*isa.LineSize < 32<<10 {
+			t.Fatalf("%s: walk touched only %dKB in 100K instructions (degenerate)",
+				p.Name, len(lines)*isa.LineSize>>10)
+		}
+	}
+}

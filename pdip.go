@@ -1,0 +1,138 @@
+// Package pdip is the public API of the PDIP reproduction: a cycle-level
+// decoupled-front-end (FDIP) CPU simulator with the Priority Directed
+// Instruction Prefetcher of Godala et al. (ASPLOS '24), the EIP baseline
+// prefetcher, the EMISSARY L2 replacement policy, synthetic server
+// workloads standing in for the paper's Table 2 benchmarks, and a harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	res, err := pdip.Run(pdip.RunSpec{Benchmark: "cassandra", Policy: "pdip44"})
+//	fmt.Println(res.Res.IPC())
+//
+// Or compare policies on a grid:
+//
+//	runner := pdip.NewRunner(0)
+//	out, err := pdip.Experiment("fig10").Run(runner, pdip.QuickOptions())
+//
+// See cmd/pdipsim and cmd/experiments for command-line front-ends, and the
+// examples/ directory for runnable programs.
+package pdip
+
+import (
+	"pdip/internal/cfg"
+	"pdip/internal/core"
+	"pdip/internal/harness"
+	"pdip/internal/policy"
+	"pdip/internal/workload"
+)
+
+// RunSpec identifies one simulation run (benchmark × policy, instruction
+// budgets, optional BTB override).
+type RunSpec = harness.RunSpec
+
+// RunResult pairs a RunSpec with the measured statistics snapshot.
+type RunResult = harness.RunResult
+
+// Result is the statistics snapshot of one run, with derived metrics
+// (IPC, MPKIs, PPKI, prefetch accuracy, FEC shares).
+type Result = core.Result
+
+// Options scales a whole experiment (instruction budgets, benchmark
+// subset, parallelism).
+type Options = harness.Options
+
+// Runner executes and memoises simulation runs.
+type Runner = harness.Runner
+
+// Profile is a synthetic benchmark profile (see Benchmarks).
+type Profile = workload.Profile
+
+// Policy is a named machine configuration (see Policies).
+type Policy = policy.Policy
+
+// ProgramParams parameterises synthetic program generation for custom
+// workloads (see examples/custom_workload).
+type ProgramParams = cfg.Params
+
+// CoreConfig is the full simulated-core configuration (Table 1 defaults
+// via DefaultCoreConfig).
+type CoreConfig = core.Config
+
+// Run executes one simulation run without memoisation.
+func Run(spec RunSpec) (*RunResult, error) { return harness.Execute(spec) }
+
+// NewRunner returns a memoising runner bounded to n concurrent runs
+// (n <= 0 uses GOMAXPROCS).
+func NewRunner(n int) *Runner { return harness.NewRunner(n) }
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options { return harness.DefaultOptions() }
+
+// QuickOptions returns a reduced scale for smoke runs and examples.
+func QuickOptions() Options { return harness.QuickOptions() }
+
+// Benchmarks returns the 16 paper benchmarks (Table 2) as synthetic
+// profiles, in presentation order.
+func Benchmarks() []Profile { return workload.All() }
+
+// BenchmarkNames returns the benchmark names in presentation order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// BenchmarkByName returns the named benchmark profile.
+func BenchmarkByName(name string) (Profile, error) { return workload.ByName(name) }
+
+// Policies returns every registered policy (Table 3 plus ablations).
+func Policies() []Policy { return policy.All() }
+
+// PolicyByName returns the named policy.
+func PolicyByName(name string) (Policy, error) { return policy.ByName(name) }
+
+// DefaultCoreConfig returns the paper's Golden Cove-like baseline core
+// configuration (Table 1).
+func DefaultCoreConfig() CoreConfig { return core.DefaultConfig() }
+
+// ExperimentInfo describes one regenerable table or figure.
+type ExperimentInfo = harness.Experiment
+
+// Experiments returns every regenerable paper artifact in paper order.
+func Experiments() []ExperimentInfo { return harness.Experiments() }
+
+// Experiment returns the experiment with the given id ("fig10", "tab4",
+// ...); it panics on unknown ids (use ExperimentByID for errors).
+func Experiment(id string) ExperimentInfo {
+	e, err := harness.ExperimentByID(id)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ExperimentByID returns the experiment with the given id.
+func ExperimentByID(id string) (ExperimentInfo, error) { return harness.ExperimentByID(id) }
+
+// RunProfile simulates a custom workload profile under a custom core
+// configuration, returning the measured snapshot. Warmup executes first
+// with statistics discarded.
+func RunProfile(p Profile, c CoreConfig, warmup, measure uint64) (Result, error) {
+	prog, err := p.Program()
+	if err != nil {
+		return Result{}, err
+	}
+	c.MemOpFrac = p.MemOpFrac
+	c.DataHotLines = p.DataHotLines
+	c.DataColdLines = p.DataColdLines
+	c.DataHotFrac = p.DataHotFrac
+	co, err := core.New(prog, c)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := co.Run(warmup); err != nil {
+		return Result{}, err
+	}
+	co.ResetStats()
+	if err := co.Run(measure); err != nil {
+		return Result{}, err
+	}
+	return co.Result(), nil
+}

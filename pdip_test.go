@@ -1,0 +1,70 @@
+package pdip
+
+import "testing"
+
+func TestPublicRegistries(t *testing.T) {
+	if len(Benchmarks()) != 16 {
+		t.Fatalf("%d benchmarks", len(Benchmarks()))
+	}
+	if len(BenchmarkNames()) != 16 {
+		t.Fatal("names mismatch")
+	}
+	if len(Policies()) == 0 {
+		t.Fatal("empty policy registry")
+	}
+	if len(Experiments()) != 14 {
+		t.Fatalf("%d experiments, want 14 (every table and figure plus ablations)", len(Experiments()))
+	}
+	if _, err := BenchmarkByName("tpcc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PolicyByName("pdip44"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExperimentByID("fig10"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicRunSmoke(t *testing.T) {
+	res, err := Run(RunSpec{Benchmark: "speedometer2.0", Policy: "pdip44", Warmup: 20_000, Measure: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Res.IPC() <= 0 {
+		t.Fatal("non-positive IPC")
+	}
+}
+
+func TestRunProfile(t *testing.T) {
+	prof, err := BenchmarkByName("kafka")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultCoreConfig()
+	c.Seed = prof.CFG.Seed
+	r, err := RunProfile(prof, c, 20_000, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Core.Instructions < 50_000 {
+		t.Fatalf("measured %d instructions", r.Core.Instructions)
+	}
+}
+
+func TestExperimentPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Experiment(bad) did not panic")
+		}
+	}()
+	Experiment("fig99")
+}
+
+func TestDefaultConfigIsTable1(t *testing.T) {
+	c := DefaultCoreConfig()
+	if c.Mem.L1I.SizeBytes != 32<<10 || c.BPU.BTBEntries != 8192 ||
+		c.FTQDepth != 24 || c.ROBSize != 512 || c.DecodeWidth != 12 {
+		t.Fatal("default config drifted from Table 1")
+	}
+}
