@@ -1,0 +1,44 @@
+# Development workflow for the PDIP reproduction. Every target uses only
+# the Go toolchain; `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: all build vet test race determinism golden check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the full suite. Metric registries are single-writer
+# by design (one per core, owned by its goroutine); this gate proves no
+# sharing crept in.
+race:
+	$(GO) test -race ./...
+
+# Deterministic-replay verification: identical specs must produce
+# bit-identical metric snapshots (counters, histograms, derived gauges).
+determinism:
+	$(GO) test ./internal/harness -run 'TestDeterministicReplay' -v
+
+# Golden-value regression grid (3 benchmarks x 3 policies). After an
+# intentional simulator change, regenerate with `make golden-update`.
+golden:
+	$(GO) test ./internal/harness -run 'TestGolden'
+
+golden-update:
+	$(GO) test ./internal/harness -run 'TestGoldenMetrics' -update
+
+check: vet build test race determinism
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem
+
+clean:
+	$(GO) clean ./...

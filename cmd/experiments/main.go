@@ -6,10 +6,12 @@
 //	experiments -run all                  # everything (minutes)
 //	experiments -run fig9 -quick          # reduced instruction budgets
 //	experiments -run fig10 -benchmarks cassandra,tpcc,verilator
+//	experiments -run fig10 -metrics runs.json   # dump every run's registry
 //	experiments -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,7 @@ func main() {
 		measure  = flag.Uint64("measure", 0, "override measured instructions")
 		benchCSV = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
 		par      = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
+		metrics  = flag.String("metrics", "", "after the experiment, write every executed run's full metrics registry as JSON to this path, keyed by benchmark/policy")
 	)
 	flag.Parse()
 
@@ -64,6 +67,7 @@ func main() {
 			fmt.Println("== " + e.Title + " ==")
 			fmt.Println(out)
 		}
+		dumpMetrics(runner, *metrics)
 		return
 	}
 	e, err := pdip.ExperimentByID(*run)
@@ -78,4 +82,34 @@ func main() {
 	}
 	fmt.Println("== " + e.Title + " ==")
 	fmt.Println(out)
+	dumpMetrics(runner, *metrics)
+}
+
+// dumpMetrics writes every memoised run's full metric snapshot to path as
+// one JSON object keyed by "benchmark/policy" spec keys.
+func dumpMetrics(runner *pdip.Runner, path string) {
+	if path == "" {
+		return
+	}
+	all := make(map[string]pdip.Snapshot)
+	for _, res := range runner.Results() {
+		all[res.Spec.Key()] = res.Metrics
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(all); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote metrics for %d runs to %s\n", len(all), path)
 }

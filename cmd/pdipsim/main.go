@@ -4,6 +4,8 @@
 // Usage:
 //
 //	pdipsim -bench cassandra -policy pdip44
+//	pdipsim -bench cassandra -policy pdip44 -stats-json stats.json
+//	pdipsim -bench cassandra -policy pdip44 -stats-json - -sample-interval 100000
 //	pdipsim -list-benchmarks
 //	pdipsim -list-policies
 //	pdipsim -print-config
@@ -22,6 +24,8 @@ func main() {
 	var (
 		bench    = flag.String("bench", "cassandra", "benchmark name (see -list-benchmarks)")
 		jsonOut  = flag.Bool("json", false, "emit the raw statistics snapshot as JSON")
+		statsOut = flag.String("stats-json", "", "write the full metrics registry (all named counters and gauges) as JSON to this path ('-' for stdout)")
+		sampleN  = flag.Uint64("sample-interval", 0, "with -stats-json: also record a full snapshot every N measured instructions")
 		pol      = flag.String("policy", "baseline", "policy name (see -list-policies)")
 		warmup   = flag.Uint64("warmup", 300_000, "warmup instructions (stats discarded)")
 		measure  = flag.Uint64("measure", 1_000_000, "measured instructions")
@@ -58,15 +62,27 @@ func main() {
 	}
 
 	res, err := pdip.Run(pdip.RunSpec{
-		Benchmark:  *bench,
-		Policy:     *pol,
-		Warmup:     *warmup,
-		Measure:    *measure,
-		BTBEntries: *btb,
+		Benchmark:   *bench,
+		Policy:      *pol,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		BTBEntries:  *btb,
+		SampleEvery: *sampleN,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdipsim:", err)
 		os.Exit(1)
+	}
+	if *statsOut != "" {
+		if err := writeStats(*statsOut, res); err != nil {
+			fmt.Fprintln(os.Stderr, "pdipsim:", err)
+			os.Exit(1)
+		}
+		if *statsOut == "-" {
+			return // registry JSON went to stdout; skip the human dump
+		}
+		fmt.Fprintf(os.Stderr, "pdipsim: wrote %d metrics to %s\n",
+			len(res.Metrics.Counters)+len(res.Metrics.Gauges), *statsOut)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -100,4 +116,27 @@ func main() {
 	}
 	fmt.Printf("BPU: cond mispredict %.2f/KI  BTB-missed taken %.2f/KI  ind mispredict %.2f/KI\n",
 		c.PerKilo(r.BPU.CondMispredict), c.PerKilo(r.BPU.BTBMissTaken), c.PerKilo(r.BPU.IndMispredict))
+}
+
+// writeStats dumps the run's full metrics registry (final snapshot plus any
+// interval samples) as deterministic JSON to path, or stdout for "-".
+func writeStats(path string, res *pdip.RunResult) error {
+	exp := pdip.MetricsExport{
+		Benchmark: res.Spec.Benchmark,
+		Policy:    res.Spec.Policy,
+		Final:     res.Metrics,
+		Samples:   res.Samples,
+	}
+	if path == "-" {
+		return exp.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -10,11 +10,21 @@ package backend
 
 import "pdip/internal/frontend"
 
+// Stats aggregates ROB-level accounting: allocations, in-order
+// retirements, and wrong-path squashes.
+type Stats struct {
+	Pushed   uint64
+	Retired  uint64
+	Squashed uint64
+}
+
 // ROB is the reorder buffer.
 type ROB struct {
 	entries []*frontend.Uop
 	head    int
 	count   int
+
+	Stats Stats
 }
 
 // NewROB returns a ROB with the given capacity (Table 1: 512).
@@ -44,6 +54,7 @@ func (r *ROB) Push(u *frontend.Uop) {
 	}
 	r.entries[(r.head+r.count)%len(r.entries)] = u
 	r.count++
+	r.Stats.Pushed++
 }
 
 // Head returns the oldest uop without removing it, or nil when empty.
@@ -66,6 +77,7 @@ func (r *ROB) Retire(now int64, width int, out []*frontend.Uop) []*frontend.Uop 
 		r.entries[r.head] = nil
 		r.head = (r.head + 1) % len(r.entries)
 		r.count--
+		r.Stats.Retired++
 	}
 	return out
 }
@@ -84,5 +96,6 @@ func (r *ROB) SquashWrongPath() int {
 		r.count--
 		n++
 	}
+	r.Stats.Squashed += uint64(n)
 	return n
 }

@@ -1,0 +1,13 @@
+package backend
+
+import "pdip/internal/metrics"
+
+// RegisterMetrics publishes the ROB's accounting under "backend.rob".
+// Bindings are snapshot-time views over Stats, so a caller zeroing Stats
+// (Core.ResetStats) resets them implicitly.
+func (r *ROB) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("backend.rob.pushed", func() uint64 { return r.Stats.Pushed })
+	reg.CounterFunc("backend.rob.retired", func() uint64 { return r.Stats.Retired })
+	reg.CounterFunc("backend.rob.squashed", func() uint64 { return r.Stats.Squashed })
+	reg.Gauge("backend.rob.capacity").Set(float64(r.Capacity()))
+}

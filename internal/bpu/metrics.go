@@ -1,0 +1,18 @@
+package bpu
+
+import "pdip/internal/metrics"
+
+// RegisterMetrics binds branch prediction accounting under "bpu" into reg.
+// Bindings are snapshot-time views over Stats; the predict hot path is
+// untouched.
+func (b *BPU) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("bpu.cond_branches", func() uint64 { return b.Stats.CondBranches })
+	reg.CounterFunc("bpu.cond_mispredict", func() uint64 { return b.Stats.CondMispredict })
+	reg.CounterFunc("bpu.btb_lookups", func() uint64 { return b.Stats.BTBLookups })
+	reg.CounterFunc("bpu.btb_miss_taken", func() uint64 { return b.Stats.BTBMissTaken })
+	reg.CounterFunc("bpu.ind_branches", func() uint64 { return b.Stats.IndBranches })
+	reg.CounterFunc("bpu.ind_mispredict", func() uint64 { return b.Stats.IndMispredict })
+	reg.CounterFunc("bpu.returns", func() uint64 { return b.Stats.Returns })
+	reg.CounterFunc("bpu.ret_mispredict", func() uint64 { return b.Stats.RetMispredict })
+	reg.Gauge("bpu.btb_kb").Set(b.Btb.StorageKB())
+}

@@ -1,0 +1,245 @@
+package cache
+
+import (
+	"testing"
+
+	"pdip/internal/isa"
+	"pdip/internal/rng"
+)
+
+// shadowLine mirrors one resident line in the reference model.
+type shadowLine struct {
+	tag      uint64
+	priority bool
+}
+
+// shadowCache is an executable specification of the replacement policy:
+// per-set recency lists (oldest first) plus P-bits. It replicates
+// pickVictim for fully-completed fills — LRU with EMISSARY's non-priority
+// preference while the set's priority population is within budget, global
+// LRU with demotion once it is exhausted.
+type shadowCache struct {
+	ways    int
+	protect int
+	sets    [][]shadowLine
+	mask    uint64
+}
+
+func newShadow(c *Cache) *shadowCache {
+	return &shadowCache{
+		ways:    c.Config().Ways,
+		protect: c.Config().ProtectedWays,
+		sets:    make([][]shadowLine, c.NumSets()),
+		mask:    uint64(c.NumSets() - 1),
+	}
+}
+
+func (s *shadowCache) locate(line isa.Addr) (int, uint64) {
+	v := uint64(line) >> isa.LineShift
+	return int(v & s.mask), v
+}
+
+func (s *shadowCache) find(set int, tag uint64) int {
+	for i, l := range s.sets[set] {
+		if l.tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// access mirrors Cache.Access: a hit refreshes recency, a miss changes
+// nothing. Returns whether the model predicts a hit.
+func (s *shadowCache) access(line isa.Addr) bool {
+	set, tag := s.locate(line)
+	i := s.find(set, tag)
+	if i < 0 {
+		return false
+	}
+	l := s.sets[set][i]
+	s.sets[set] = append(append(s.sets[set][:i:i], s.sets[set][i+1:]...), l)
+	return true
+}
+
+// fill mirrors Cache.Fill for completed fills and returns the predicted
+// eviction. Present lines only refresh the P-bit (no recency touch).
+func (s *shadowCache) fill(line isa.Addr, priority bool) (evicted isa.Addr, hadVictim bool) {
+	set, tag := s.locate(line)
+	if i := s.find(set, tag); i >= 0 {
+		if priority {
+			s.sets[set][i].priority = true
+		}
+		return 0, false
+	}
+	if len(s.sets[set]) >= s.ways {
+		v := s.victim(set)
+		evicted = isa.Addr(s.sets[set][v].tag << isa.LineShift)
+		hadVictim = true
+		s.sets[set] = append(s.sets[set][:v:v], s.sets[set][v+1:]...)
+	}
+	s.sets[set] = append(s.sets[set], shadowLine{tag: tag, priority: priority})
+	return evicted, hadVictim
+}
+
+func (s *shadowCache) victim(set int) int {
+	lines := s.sets[set]
+	if s.protect > 0 {
+		nPri := 0
+		for _, l := range lines {
+			if l.priority {
+				nPri++
+			}
+		}
+		if nPri <= s.protect && nPri < len(lines) {
+			for i, l := range lines { // oldest non-priority line
+				if !l.priority {
+					return i
+				}
+			}
+		}
+	}
+	return 0 // oldest overall
+}
+
+func (s *shadowCache) promote(line isa.Addr) {
+	set, tag := s.locate(line)
+	if i := s.find(set, tag); i >= 0 {
+		s.sets[set][i].priority = true
+	}
+}
+
+func (s *shadowCache) priorityLines() int {
+	n := 0
+	for _, set := range s.sets {
+		for _, l := range set {
+			if l.priority {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// runReplacementProperty drives cache and shadow with the same randomized
+// operation sequence and fails on the first divergence in hit/miss
+// outcome, eviction choice, or priority population.
+func runReplacementProperty(t *testing.T, seed uint64, protectedWays int) {
+	t.Helper()
+	c := MustNew(Config{
+		Name: "prop", SizeBytes: 4 * 1024, Ways: 8,
+		HitLatency: 1, MSHRs: 8, ProtectedWays: protectedWays,
+	})
+	sh := newShadow(c)
+	r := rng.New(seed)
+	// 4 sets below saturation pressure: pool of 8 sets' worth of tags so
+	// each set sees ~2x its capacity in live lines.
+	pool := make([]isa.Addr, 128)
+	for i := range pool {
+		pool[i] = isa.Addr(i * isa.LineSize)
+	}
+	var now int64 = 100
+	for op := 0; op < 50_000; op++ {
+		now++
+		line := pool[r.Intn(len(pool))]
+		switch {
+		case r.Bool(0.45): // demand access
+			got := c.Access(line, now, ClassInst)
+			want := sh.access(line)
+			if got.Hit != want {
+				t.Fatalf("op %d: Access(%#x) hit=%v, shadow says %v", op, line, got.Hit, want)
+			}
+		case r.Bool(0.1) && protectedWays > 0: // EMISSARY promote
+			c.Promote(line)
+			sh.promote(line)
+		default: // completed fill (readyAt == now: no in-flight state)
+			pri := protectedWays > 0 && r.Bool(0.3)
+			gotEv, gotHad := c.Fill(line, now, now, FillOpts{Priority: pri})
+			wantEv, wantHad := sh.fill(line, pri)
+			if gotHad != wantHad || (gotHad && gotEv != wantEv) {
+				t.Fatalf("op %d: Fill(%#x,pri=%v) evicted (%#x,%v), shadow predicts (%#x,%v)",
+					op, line, pri, gotEv, gotHad, wantEv, wantHad)
+			}
+		}
+		if protectedWays > 0 && op%1000 == 0 {
+			if got, want := c.PriorityLines(), sh.priorityLines(); got != want {
+				t.Fatalf("op %d: %d priority lines, shadow has %d", op, got, want)
+			}
+		}
+	}
+}
+
+// TestPropertyLRUReplacement checks pure LRU against the shadow model:
+// every eviction over 50k randomized accesses/fills must displace exactly
+// the least-recently-touched line of its set.
+func TestPropertyLRUReplacement(t *testing.T) {
+	for _, seed := range []uint64{1, 0xdead, 0xc0ffee} {
+		runReplacementProperty(t, seed, 0)
+	}
+}
+
+// TestPropertyEmissaryReplacement checks the EMISSARY policy against the
+// shadow model: priority lines survive as long as the set's priority
+// population is within ProtectedWays and a non-priority victim exists;
+// past the budget, the global LRU line is demoted and evicted.
+func TestPropertyEmissaryReplacement(t *testing.T) {
+	for _, seed := range []uint64{2, 0xbeef, 0xfade} {
+		for _, protect := range []int{1, 4} {
+			runReplacementProperty(t, seed, protect)
+		}
+	}
+}
+
+// TestPropertyMSHROccupancy drives the guarded fill path the prefetch
+// queue uses — fill only when an MSHR is free — with randomized latencies
+// and time advances, and checks occupancy stays within [0, MSHRs] and the
+// MSHR file agrees with a reference list of outstanding deadlines.
+func TestPropertyMSHROccupancy(t *testing.T) {
+	const mshrs = 4
+	c := MustNew(Config{
+		Name: "mshr", SizeBytes: 64 * 1024, Ways: 8,
+		HitLatency: 1, MSHRs: mshrs,
+	})
+	r := rng.New(0x5157)
+	var now int64 = 1
+	var outstanding []int64 // reference deadlines, pruned like the MSHR file
+	next := 0               // fresh line per fill so every fill allocates
+	for op := 0; op < 20_000; op++ {
+		now += int64(r.Intn(5))
+		keep := outstanding[:0]
+		for _, d := range outstanding {
+			if d > now {
+				keep = append(keep, d)
+			}
+		}
+		outstanding = keep
+
+		free := c.MSHRFree(now)
+		if wantFree := mshrs - len(outstanding); free != wantFree {
+			t.Fatalf("op %d: MSHRFree=%d, reference says %d", op, free, wantFree)
+		}
+		if free < 0 || free > mshrs {
+			t.Fatalf("op %d: MSHRFree=%d outside [0,%d]", op, free, mshrs)
+		}
+		if free == 0 {
+			earliest := outstanding[0]
+			for _, d := range outstanding[1:] {
+				if d < earliest {
+					earliest = d
+				}
+			}
+			if got := c.EarliestMSHRFree(now); got != earliest {
+				t.Fatalf("op %d: EarliestMSHRFree=%d, reference says %d", op, got, earliest)
+			}
+			continue
+		}
+		if got := c.EarliestMSHRFree(now); got != now {
+			t.Fatalf("op %d: MSHR free but EarliestMSHRFree=%d, want now=%d", op, got, now)
+		}
+		// Guarded in-flight prefetch fill, exactly like prefetch.Queue.
+		line := isa.Addr(next * isa.LineSize)
+		next++
+		readyAt := now + 1 + int64(r.Intn(40))
+		c.Fill(line, now, readyAt, FillOpts{Prefetch: true})
+		outstanding = append(outstanding, readyAt)
+	}
+}

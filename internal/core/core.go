@@ -10,9 +10,9 @@ import (
 	"pdip/internal/frontend"
 	"pdip/internal/isa"
 	"pdip/internal/mem"
+	"pdip/internal/metrics"
 	"pdip/internal/prefetch"
 	"pdip/internal/rng"
-	"pdip/internal/stats"
 	"pdip/internal/trace"
 )
 
@@ -85,7 +85,15 @@ type Core struct {
 	dataRng  *rng.RNG
 	promoRng *rng.RNG
 
-	st stats.Core
+	// reg is the unified metrics registry every component publishes into;
+	// ct holds the core's own counters, resolved once at construction.
+	reg *metrics.Registry
+	ct  counters
+
+	// sampleEvery > 0 records a registry snapshot every that many retired
+	// instructions; samples accumulate until ResetStats.
+	sampleEvery uint64
+	samples     []metrics.Sample
 
 	reqBuf    []prefetch.Request
 	retireBuf []*frontend.Uop
@@ -120,6 +128,7 @@ func New(prog *cfg.Program, c Config) (*Core, error) {
 	if c.PQReserveMSHRs < 0 {
 		pq.ReserveMSHRs = 0
 	}
+	reg := metrics.NewRegistry()
 	co := &Core{
 		cfg:      c,
 		prog:     prog,
@@ -134,7 +143,10 @@ func New(prog *cfg.Program, c Config) (*Core, error) {
 		fecEver:  make(map[isa.Addr]struct{}),
 		dataRng:  rng.New(c.Seed ^ 0xda7a),
 		promoRng: rng.New(c.Seed ^ 0xe351),
+		reg:      reg,
+		ct:       newCounters(reg),
 	}
+	co.registerMetrics()
 	if c.CollectSets {
 		co.fecSet = make(map[isa.Addr]struct{})
 		co.pfSet = make(map[isa.Addr]int64)
@@ -188,13 +200,15 @@ func (co *Core) Run(n uint64) error {
 // and microarchitectural state (caches, predictors, tables) warm. Call
 // after the warmup window, mirroring the paper's methodology (§6.1).
 func (co *Core) ResetStats() {
-	co.st = stats.Core{}
+	co.reg.Reset()
+	co.samples = co.samples[:0]
 	co.hier.L1I.Stats = cache.Stats{}
 	co.hier.L1D.Stats = cache.Stats{}
 	co.hier.L2.Stats = cache.Stats{}
 	co.hier.L3.Stats = cache.Stats{}
 	co.pq.Stats = prefetch.Stats{}
 	co.bp.Stats = bpu.Stats{}
+	co.rob.Stats = backend.Stats{}
 	if r, ok := co.pf.(interface{ ResetStats() }); ok {
 		r.ResetStats()
 	}
@@ -203,7 +217,8 @@ func (co *Core) ResetStats() {
 // step advances one cycle.
 func (co *Core) step() {
 	co.now++
-	co.st.Cycles++
+	co.ct.cycles.Inc()
+	co.ct.ftqOcc.Observe(float64(co.ftq.Len()))
 
 	co.retire()
 	co.applyResteer()
@@ -235,7 +250,7 @@ func (co *Core) drainRetireEmitter() {
 	co.reqBuf = co.pfEmitter.TakePending(co.reqBuf[:0])
 	for _, r := range co.reqBuf {
 		if co.ftq.Contains(r.Line) {
-			co.st.PFDroppedFTQ++
+			co.ct.pfDroppedFTQ.Inc()
 			continue
 		}
 		if co.pfSet != nil {
@@ -266,7 +281,12 @@ func (co *Core) retire() {
 
 func (co *Core) retireUop(u *frontend.Uop) {
 	co.retired++
-	co.st.Instructions++
+	co.ct.instructions.Inc()
+	if co.sampleEvery > 0 {
+		if n := co.ct.instructions.Load(); n%co.sampleEvery == 0 {
+			co.samples = append(co.samples, metrics.Sample{Instructions: n, Metrics: co.reg.Snapshot()})
+		}
+	}
 
 	if ep := u.Ep; ep != nil && !ep.Processed {
 		ep.Processed = true
@@ -287,12 +307,12 @@ func (co *Core) retireUop(u *frontend.Uop) {
 // processEpisode evaluates the FEC conditions for a retired line episode
 // and feeds EMISSARY promotion and the prefetcher (§2.1, §4.1, §4.2).
 func (co *Core) processEpisode(ep *frontend.LineEpisode) {
-	co.st.LinesRetired++
+	co.ct.linesRetired.Inc()
 	fec := ep.Missed && ep.Starve > 0
 	highCost := fec && ep.Starve > co.cfg.HighCostThreshold
 
 	if ep.WasPrefetch && ep.ResteerTrigger != 0 && !fec {
-		co.st.ShadowCovered++
+		co.ct.shadowCovered.Inc()
 	}
 	if fec {
 		if co.pfSet != nil && len(co.fecTrace) < 4000 {
@@ -326,18 +346,18 @@ func (co *Core) processEpisode(ep *frontend.LineEpisode) {
 				co.fecReqAge[3]++
 			}
 		}
-		co.st.FECLines++
+		co.ct.fecLines.Inc()
 		if ep.WasPrefetch {
-			co.st.FECCoveredLate++
+			co.ct.fecCoveredLate.Inc()
 		}
 		if _, seen := co.fecEver[ep.Line]; seen {
-			co.st.FECRepeatLines++
+			co.ct.fecRepeatLines.Inc()
 		}
-		co.st.FECStallCycles += uint64(ep.Starve)
+		co.ct.fecStallCycles.Add(uint64(ep.Starve))
 		if highCost {
-			co.st.HighCostFECLines++
+			co.ct.highCostFECLines.Inc()
 			if ep.BackendEmpty {
-				co.st.HighCostBackend++
+				co.ct.highCostBackend.Inc()
 			}
 		}
 		co.fecEver[ep.Line] = struct{}{}
@@ -349,7 +369,7 @@ func (co *Core) processEpisode(ep *frontend.LineEpisode) {
 			co.hier.PromoteInstLine(ep.Line)
 		}
 	} else if ep.Starve > 0 {
-		co.st.NonFECStall += uint64(ep.Starve)
+		co.ct.nonFECStall.Add(uint64(ep.Starve))
 	}
 
 	co.pf.OnLineRetired(prefetch.RetireEvent{
@@ -379,11 +399,11 @@ func (co *Core) applyResteer() {
 
 	switch ev.cause {
 	case frontend.ResteerBTBMiss:
-		co.st.ResteerBTBMiss++
+		co.ct.resteerBTBMiss.Inc()
 	case frontend.ResteerReturn:
-		co.st.ResteerReturn++
+		co.ct.resteerReturn.Inc()
 	default:
-		co.st.ResteerMispredict++
+		co.ct.resteerMispredict.Inc()
 	}
 
 	// Flush speculative front-end state. The PQ is intentionally not
@@ -445,24 +465,24 @@ func (co *Core) decode() {
 	// Top-down issue-slot accounting (Figure 1).
 	leftover := uint64(width - moved)
 	if robFull {
-		co.st.TopDown.BackendBound += leftover
+		co.ct.tdBackend.Add(leftover)
 	} else {
-		co.st.TopDown.FrontendBound += leftover
+		co.ct.tdFrontend.Add(leftover)
 	}
 
 	// Decode starvation: nothing delivered while the back-end could
 	// accept. Attribute to the line blocking the IFU, if it missed.
 	if moved == 0 && !robFull {
-		co.st.DecodeStarvedCycles++
+		co.ct.decodeStarved.Inc()
 		switch {
 		case co.blockingEpisodeStarve():
-			co.st.StarvedOnMiss++
+			co.ct.starvedOnMiss.Inc()
 		case co.ifuEntry == nil && co.ftq.Len() == 0:
-			co.st.StarveNoEntry++
+			co.ct.starveNoEntry.Inc()
 		case co.dqHead < len(co.decodeQ):
-			co.st.StarvePipe++
+			co.ct.starvePipe.Inc()
 		default:
-			co.st.StarveOther++
+			co.ct.starveOther.Inc()
 		}
 	}
 }
@@ -494,10 +514,10 @@ func (co *Core) blockingEpisodeStarve() bool {
 // its data access, and scheduling the resteer for mispredicted branches.
 func (co *Core) allocate(u *frontend.Uop) {
 	if u.WrongPath {
-		co.st.WrongPathInstructions++
-		co.st.TopDown.BadSpeculation++
+		co.ct.wrongPath.Inc()
+		co.ct.tdBadSpec.Inc()
 	} else {
-		co.st.TopDown.Retiring++
+		co.ct.tdRetiring.Inc()
 	}
 
 	switch {
@@ -694,7 +714,7 @@ func (co *Core) predict() {
 	for _, r := range co.reqBuf {
 		// Duplicate suppression against the FTQ (§6.2).
 		if co.ftq.Contains(r.Line) {
-			co.st.PFDroppedFTQ++
+			co.ct.pfDroppedFTQ.Inc()
 			continue
 		}
 		if co.pfSet != nil {

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"pdip/internal/metrics"
+	"pdip/internal/stats"
+)
+
+// counters holds the registry-owned counters behind stats.Core. The core
+// increments through these pointers (resolved once at construction — no
+// lookups or reflection on the hot path); Result() materialises the
+// stats.Core value struct from them, so the snapshot API is a view over
+// the registry.
+type counters struct {
+	cycles, instructions, wrongPath *metrics.Counter
+
+	resteerMispredict, resteerBTBMiss, resteerReturn *metrics.Counter
+
+	decodeStarved, starvedOnMiss, starveNoEntry, starvePipe, starveOther *metrics.Counter
+
+	linesRetired, fecLines, fecRepeatLines     *metrics.Counter
+	highCostFECLines, highCostBackend          *metrics.Counter
+	fecStallCycles, fecCoveredLate             *metrics.Counter
+	shadowCovered, nonFECStall                 *metrics.Counter
+	pfDroppedFTQ                               *metrics.Counter
+	tdRetiring, tdBadSpec, tdFrontend, tdBackend *metrics.Counter
+
+	// ftqOcc samples FTQ occupancy once per cycle (decoupling depth).
+	ftqOcc *metrics.Histogram
+}
+
+func newCounters(reg *metrics.Registry) counters {
+	return counters{
+		cycles:            reg.Counter("core.cycles"),
+		instructions:      reg.Counter("core.instructions"),
+		wrongPath:         reg.Counter("core.wrong_path_instructions"),
+		resteerMispredict: reg.Counter("frontend.resteer.mispredict"),
+		resteerBTBMiss:    reg.Counter("frontend.resteer.btb_miss"),
+		resteerReturn:     reg.Counter("frontend.resteer.return"),
+		decodeStarved:     reg.Counter("frontend.decode_starved_cycles"),
+		starvedOnMiss:     reg.Counter("frontend.starve.on_miss"),
+		starveNoEntry:     reg.Counter("frontend.starve.no_entry"),
+		starvePipe:        reg.Counter("frontend.starve.pipe"),
+		starveOther:       reg.Counter("frontend.starve.other"),
+		linesRetired:      reg.Counter("core.lines_retired"),
+		fecLines:          reg.Counter("core.fec.lines"),
+		fecRepeatLines:    reg.Counter("core.fec.repeat_lines"),
+		highCostFECLines:  reg.Counter("core.fec.high_cost_lines"),
+		highCostBackend:   reg.Counter("core.fec.high_cost_backend"),
+		fecStallCycles:    reg.Counter("core.fec.stall_cycles"),
+		fecCoveredLate:    reg.Counter("core.fec.covered_late"),
+		shadowCovered:     reg.Counter("core.fec.shadow_covered"),
+		nonFECStall:       reg.Counter("core.fec.non_fec_stall_cycles"),
+		pfDroppedFTQ:      reg.Counter("frontend.pf_dropped_ftq"),
+		tdRetiring:        reg.Counter("core.topdown.retiring"),
+		tdBadSpec:         reg.Counter("core.topdown.bad_speculation"),
+		tdFrontend:        reg.Counter("core.topdown.frontend_bound"),
+		tdBackend:         reg.Counter("core.topdown.backend_bound"),
+		ftqOcc:            reg.Histogram("frontend.ftq_occupancy", 0, 2, 4, 8, 12, 16, 20, 24),
+	}
+}
+
+// statsCore materialises the stats.Core snapshot from the registry
+// counters — the view the Result API and all derived metrics sit on.
+func (ct *counters) statsCore() stats.Core {
+	return stats.Core{
+		Cycles:                ct.cycles.Load(),
+		Instructions:          ct.instructions.Load(),
+		WrongPathInstructions: ct.wrongPath.Load(),
+		ResteerMispredict:     ct.resteerMispredict.Load(),
+		ResteerBTBMiss:        ct.resteerBTBMiss.Load(),
+		ResteerReturn:         ct.resteerReturn.Load(),
+		DecodeStarvedCycles:   ct.decodeStarved.Load(),
+		StarvedOnMiss:         ct.starvedOnMiss.Load(),
+		StarveNoEntry:         ct.starveNoEntry.Load(),
+		StarvePipe:            ct.starvePipe.Load(),
+		StarveOther:           ct.starveOther.Load(),
+		LinesRetired:          ct.linesRetired.Load(),
+		FECLines:              ct.fecLines.Load(),
+		FECRepeatLines:        ct.fecRepeatLines.Load(),
+		HighCostFECLines:      ct.highCostFECLines.Load(),
+		HighCostBackend:       ct.highCostBackend.Load(),
+		FECStallCycles:        ct.fecStallCycles.Load(),
+		FECCoveredLate:        ct.fecCoveredLate.Load(),
+		ShadowCovered:         ct.shadowCovered.Load(),
+		NonFECStall:           ct.nonFECStall.Load(),
+		PFDroppedFTQ:          ct.pfDroppedFTQ.Load(),
+		TopDown: stats.TopDown{
+			Retiring:       ct.tdRetiring.Load(),
+			BadSpeculation: ct.tdBadSpec.Load(),
+			FrontendBound:  ct.tdFrontend.Load(),
+			BackendBound:   ct.tdBackend.Load(),
+		},
+	}
+}
+
+// registerMetrics wires every measuring component into the core's
+// registry: cache levels, prefetch queue, BPU, the prefetcher under test
+// (when it publishes metrics), the FEC diagnostic histograms, and the
+// derived gauges the paper reports.
+func (co *Core) registerMetrics() {
+	reg := co.reg
+	co.hier.L1I.RegisterMetrics(reg, "cache.l1i")
+	co.hier.L1D.RegisterMetrics(reg, "cache.l1d")
+	co.hier.L2.RegisterMetrics(reg, "cache.l2")
+	co.hier.L3.RegisterMetrics(reg, "cache.l3")
+	co.pq.RegisterMetrics(reg, "pq")
+	co.bp.RegisterMetrics(reg)
+	co.rob.RegisterMetrics(reg)
+	if m, ok := co.pf.(metrics.Registrant); ok {
+		m.RegisterMetrics(reg)
+	}
+	reg.Gauge("prefetcher.storage_kb").Set(co.pf.StorageKB())
+
+	// FEC instance classification (populated under CollectSets; zero
+	// otherwise — kept registered so snapshot shape is policy-independent).
+	reg.CounterFunc("core.fec.req_age.never", func() uint64 { return co.fecReqAge[0] })
+	reg.CounterFunc("core.fec.req_age.gt_10k", func() uint64 { return co.fecReqAge[1] })
+	reg.CounterFunc("core.fec.req_age.100_to_10k", func() uint64 { return co.fecReqAge[2] })
+	reg.CounterFunc("core.fec.req_age.le_100", func() uint64 { return co.fecReqAge[3] })
+	reg.CounterFunc("core.fec.holds.no_trigger", func() uint64 { return co.fecHolds[0] })
+	reg.CounterFunc("core.fec.holds.table_holds_pair", func() uint64 { return co.fecHolds[1] })
+	reg.CounterFunc("core.fec.holds.table_missing_pair", func() uint64 { return co.fecHolds[2] })
+
+	// Derived metrics (the paper's reported numbers), computed at snapshot
+	// time from the same counters Result exposes.
+	derived := func(name string, fn func(*Result) float64) {
+		reg.GaugeFunc(name, func() float64 {
+			r := co.liteResult()
+			return fn(&r)
+		})
+	}
+	derived("derived.ipc", func(r *Result) float64 { return r.IPC() })
+	derived("derived.l1i_mpki", func(r *Result) float64 { return r.L1IMPKI() })
+	derived("derived.l2i_mpki", func(r *Result) float64 { return r.L2IMPKI() })
+	derived("derived.l2d_mpki", func(r *Result) float64 { return r.L2DMPKI() })
+	derived("derived.l3_mpki", func(r *Result) float64 { return r.L3MPKI() })
+	derived("derived.ppki", func(r *Result) float64 { return r.PPKI() })
+	derived("derived.prefetch_accuracy", func(r *Result) float64 { return r.PrefetchAccuracy() })
+	derived("derived.late_prefetch_rate", func(r *Result) float64 { return r.LatePrefetchRate() })
+	derived("derived.useless_prefetch_pki", func(r *Result) float64 { return r.UselessPrefetchPKI() })
+	derived("derived.fec_line_pct", func(r *Result) float64 { return r.FECLinePct() })
+	derived("derived.fec_stall_share", func(r *Result) float64 { return r.FECStallShare() })
+}
+
+// liteResult builds a Result view without copying the coverage sets —
+// enough for every derived metric, cheap enough for snapshot time.
+func (co *Core) liteResult() Result {
+	return Result{
+		Core: co.ct.statsCore(),
+		L1I:  co.hier.L1I.Stats,
+		L1D:  co.hier.L1D.Stats,
+		L2:   co.hier.L2.Stats,
+		L3:   co.hier.L3.Stats,
+		PQ:   co.pq.Stats,
+		BPU:  co.bp.Stats,
+	}
+}
+
+// Metrics returns the core's metric registry. The registry is owned by the
+// core's goroutine; snapshot it before sharing across goroutines.
+func (co *Core) Metrics() *metrics.Registry { return co.reg }
+
+// Snapshot captures every registered metric, stable-ordered.
+func (co *Core) Snapshot() metrics.Snapshot { return co.reg.Snapshot() }
+
+// EnableSampling records a full registry snapshot every everyN retired
+// instructions (measured window), so IPC/MPKI trajectories can be dumped
+// for any run. Zero disables sampling.
+func (co *Core) EnableSampling(everyN uint64) {
+	co.sampleEvery = everyN
+}
+
+// Samples returns the interval snapshots collected since the last
+// ResetStats. The slice is owned by the core; copy it before mutating.
+func (co *Core) Samples() []metrics.Sample { return co.samples }

@@ -42,7 +42,7 @@ type Result struct {
 // Result snapshots the current counters.
 func (co *Core) Result() Result {
 	r := Result{
-		Core:           co.st,
+		Core:           co.ct.statsCore(),
 		L1I:            co.hier.L1I.Stats,
 		L1D:            co.hier.L1D.Stats,
 		L2:             co.hier.L2.Stats,

@@ -1,0 +1,14 @@
+package eip
+
+import "pdip/internal/metrics"
+
+// RegisterMetrics implements metrics.Registrant, publishing the entangling
+// table's accounting under "eip". Bindings are snapshot-time views over
+// Stats, so ResetStats is reflected automatically.
+func (e *EIP) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("eip.entangled", func() uint64 { return e.Stats.Entangled })
+	reg.CounterFunc("eip.no_source", func() uint64 { return e.Stats.NoSource })
+	reg.CounterFunc("eip.lookups", func() uint64 { return e.Stats.Lookups })
+	reg.CounterFunc("eip.hits", func() uint64 { return e.Stats.Hits })
+	reg.Gauge("eip.storage_kb").Set(e.StorageKB())
+}

@@ -1,0 +1,13 @@
+package fnlmma
+
+import "pdip/internal/metrics"
+
+// RegisterMetrics implements metrics.Registrant, publishing the FNL+MMA
+// training/emission accounting under "fnlmma". Bindings are snapshot-time
+// views over Stats, so ResetStats is reflected automatically.
+func (f *FNLMMA) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("fnlmma.fnl_emitted", func() uint64 { return f.Stats.FNLEmitted })
+	reg.CounterFunc("fnlmma.mma_emitted", func() uint64 { return f.Stats.MMAEmitted })
+	reg.CounterFunc("fnlmma.trained", func() uint64 { return f.Stats.Trained })
+	reg.Gauge("fnlmma.storage_kb").Set(f.StorageKB())
+}

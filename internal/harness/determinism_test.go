@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"testing"
+)
+
+// deterministicSpecs spans the prefetcher families so a regression in any
+// one of them (an unseeded map iteration, cross-run state leak, time-based
+// decision) is caught: the FDIP baseline, PDIP, EIP, RDIP, and FNL+MMA.
+func deterministicSpecs() []RunSpec {
+	specs := []RunSpec{}
+	for _, tc := range []struct{ bench, policy string }{
+		{"cassandra", "baseline"},
+		{"cassandra", "pdip44"},
+		{"tomcat", "eip46"},
+		{"kafka", "rdip"},
+		{"xalan", "fnl-mma"},
+	} {
+		specs = append(specs, RunSpec{
+			Benchmark:   tc.bench,
+			Policy:      tc.policy,
+			Warmup:      20_000,
+			Measure:     60_000,
+			SampleEvery: 20_000,
+		})
+	}
+	return specs
+}
+
+// TestDeterministicReplay runs every spec twice from scratch and requires
+// the two full metric snapshots — counters, histograms, derived gauges,
+// and every interval sample — to match bit-exactly.
+func TestDeterministicReplay(t *testing.T) {
+	for _, spec := range deterministicSpecs() {
+		spec := spec
+		t.Run(spec.Key(), func(t *testing.T) {
+			t.Parallel()
+			if err := VerifyDeterminism(spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDeterministicReplayCollectSets repeats the check with coverage-set
+// collection on, which exercises the map-backed FEC/prefetch-target sets:
+// map iteration order must never leak into any published counter.
+func TestDeterministicReplayCollectSets(t *testing.T) {
+	spec := RunSpec{
+		Benchmark:   "cassandra",
+		Policy:      "pdip44",
+		Warmup:      20_000,
+		Measure:     60_000,
+		CollectSets: true,
+	}
+	if err := VerifyDeterminism(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotDiffDetectsDrift is the negative control: two different
+// policies on the same benchmark must produce differing snapshots, proving
+// the diff machinery is not vacuously passing.
+func TestSnapshotDiffDetectsDrift(t *testing.T) {
+	base := RunSpec{Benchmark: "cassandra", Policy: "baseline", Warmup: 20_000, Measure: 60_000}
+	pdip := base
+	pdip.Policy = "pdip44"
+	a, err := Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(pdip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a.Metrics.Diff(b.Metrics); len(diff) == 0 {
+		t.Fatal("baseline and pdip44 snapshots are identical; diff is vacuous")
+	}
+}
+
+// TestSamplingTrajectory checks the interval-sampling contract: samples
+// appear at exact instruction boundaries and metrics grow monotonically
+// across them.
+func TestSamplingTrajectory(t *testing.T) {
+	res, err := Execute(RunSpec{
+		Benchmark:   "cassandra",
+		Policy:      "pdip44",
+		Warmup:      20_000,
+		Measure:     60_000,
+		SampleEvery: 15_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 4 {
+		t.Fatalf("want 4 samples at 15k intervals over 60k instructions, got %d", len(res.Samples))
+	}
+	var prev uint64
+	for i, s := range res.Samples {
+		if want := uint64(15_000 * (i + 1)); s.Instructions != want {
+			t.Errorf("sample %d at %d instructions, want %d", i, s.Instructions, want)
+		}
+		cyc := s.Metrics.Counters["core.cycles"]
+		if cyc <= prev {
+			t.Errorf("sample %d: core.cycles %d not increasing (prev %d)", i, cyc, prev)
+		}
+		prev = cyc
+	}
+	// Run may overshoot the budget by up to the retire width in the final
+	// cycle, but never undershoot.
+	if got := res.Metrics.Counters["core.instructions"]; got < 60_000 {
+		t.Errorf("final snapshot instructions = %d, want >= 60000", got)
+	}
+}

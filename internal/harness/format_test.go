@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pdip/internal/stats"
+)
+
+func TestPct(t *testing.T) {
+	tests := []struct {
+		name string
+		in   float64
+		want string
+	}{
+		{"zero", 0, "+0.00%"},
+		{"positive", 0.032, "+3.20%"},
+		{"negative", -0.0151, "-1.51%"},
+		{"one", 1, "+100.00%"},
+		{"tiny rounds to zero", 0.000004, "+0.00%"},
+		{"large", 2.5, "+250.00%"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := pct(tc.in); got != tc.want {
+				t.Errorf("pct(%v) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"empty slice", []float64{}, 0},
+		{"single", []float64{4.2}, 4.2},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives cancel", []float64{-1, 1}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mean(tc.in); got != tc.want {
+				t.Errorf("mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMeanNaNPropagates(t *testing.T) {
+	if got := mean([]float64{1, math.NaN()}); !math.IsNaN(got) {
+		t.Errorf("mean with NaN input = %v, want NaN", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	tests := []struct {
+		name      string
+		base, new float64
+		want      float64
+	}{
+		{"zero baseline guarded", 0, 2.5, 0},
+		{"no change", 1.5, 1.5, 0},
+		{"gain", 2.0, 2.2, 0.1},
+		{"loss", 2.0, 1.0, -0.5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := stats.Speedup(tc.base, tc.new)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Speedup(%v, %v) = %v, want %v", tc.base, tc.new, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{0.05}, 0.05},
+		{"identity pair", []float64{0, 0}, 0},
+		// geomean of (1.1, 1/1.1) is 1 → speedup 0.
+		{"reciprocal pair", []float64{0.1, 1/1.1 - 1}, 0},
+		// -100% speedup would mean log(0); the helper clamps instead of
+		// returning -Inf/NaN.
+		{"total loss clamped", []float64{-1}, 1e-9 - 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := stats.Geomean(tc.in)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Geomean(%v) = %v, want finite", tc.in, got)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("Geomean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSpeedupTableSingleBenchmark drives the real table path end-to-end on
+// one tiny run: header row, benchmark row, and geomean row must all render
+// with a parseable percentage per policy column.
+func TestSpeedupTableSingleBenchmark(t *testing.T) {
+	r := NewRunner(0)
+	o := Options{Warmup: 10_000, Measure: 30_000, Benchmarks: []string{"cassandra"}}
+	out, err := r.speedupTable(o, []string{"pdip44"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + separator + 1 benchmark + geomean
+	if len(lines) != 4 {
+		t.Fatalf("speedupTable rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "benchmark") || !strings.Contains(lines[0], "pdip44") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "cassandra") {
+		t.Errorf("bad benchmark row: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "geomean") {
+		t.Errorf("bad geomean row: %q", lines[3])
+	}
+	for _, row := range lines[2:] {
+		if !strings.Contains(row, "%") {
+			t.Errorf("row missing percentage cell: %q", row)
+		}
+	}
+	// Single benchmark: geomean over one value equals that value, so the
+	// two data rows must show the same percentage.
+	bench := strings.Fields(lines[2])
+	geo := strings.Fields(lines[3])
+	if bench[1] != geo[1] {
+		t.Errorf("single-benchmark geomean %s != benchmark speedup %s", geo[1], bench[1])
+	}
+}
+
+// TestSpeedupTableEmptyPolicies renders the degenerate empty-policy table
+// without panicking.
+func TestSpeedupTableEmptyPolicies(t *testing.T) {
+	r := NewRunner(0)
+	o := Options{Warmup: 10_000, Measure: 30_000, Benchmarks: []string{"cassandra"}}
+	out, err := r.speedupTable(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "benchmark") || !strings.Contains(out, "geomean") {
+		t.Errorf("empty-policy table missing scaffolding:\n%s", out)
+	}
+}
+
+func TestStatsPct(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.0%"},
+		{0.625, "62.5%"},
+		{1, "100.0%"},
+	}
+	for _, tc := range tests {
+		if got := stats.Pct(tc.in); got != tc.want {
+			t.Errorf("Pct(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

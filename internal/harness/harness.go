@@ -7,9 +7,12 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 
 	"pdip/internal/core"
+	"pdip/internal/metrics"
 	"pdip/internal/policy"
 	"pdip/internal/workload"
 )
@@ -62,12 +65,30 @@ type RunSpec struct {
 	Warmup, Measure uint64
 	// CollectSets enables coverage-set collection.
 	CollectSets bool
+	// SampleEvery > 0 records a full metrics snapshot every that many
+	// measured instructions (IPC/MPKI trajectories).
+	SampleEvery uint64
+}
+
+// Key renders the spec as a stable string ("bench/policy[@btbK]"), used
+// for metric export maps and error messages.
+func (s RunSpec) Key() string {
+	k := s.Benchmark + "/" + s.Policy
+	if s.BTBEntries > 0 {
+		k = fmt.Sprintf("%s@%dK-BTB", k, s.BTBEntries/1024)
+	}
+	return k
 }
 
 // RunResult pairs a spec with its measured snapshot.
 type RunResult struct {
 	Spec RunSpec
 	Res  core.Result
+	// Metrics is the full registry snapshot at the end of the measured
+	// window (superset of Res, including prefetcher-internal counters).
+	Metrics metrics.Snapshot
+	// Samples holds interval snapshots when Spec.SampleEvery > 0.
+	Samples []metrics.Sample
 }
 
 // Runner executes and memoises runs.
@@ -186,11 +207,73 @@ func Execute(spec RunSpec) (*RunResult, error) {
 		return nil, fmt.Errorf("%s/%s warmup: %w", spec.Benchmark, spec.Policy, err)
 	}
 	co.ResetStats()
+	if spec.SampleEvery > 0 {
+		co.EnableSampling(spec.SampleEvery)
+	}
 	if err := co.Run(measure); err != nil {
 		return nil, fmt.Errorf("%s/%s measure: %w", spec.Benchmark, spec.Policy, err)
 	}
 	res := co.Result()
-	return &RunResult{Spec: spec, Res: res}, nil
+	return &RunResult{
+		Spec:    spec,
+		Res:     res,
+		Metrics: co.Snapshot(),
+		Samples: co.Samples(),
+	}, nil
+}
+
+// Results returns every memoised result, sorted by spec key — the export
+// surface behind `cmd/experiments -metrics`.
+func (r *Runner) Results() []*RunResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*RunResult, 0, len(r.cache))
+	for _, res := range r.cache {
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i].Spec.Key(), out[j].Spec.Key(); a != b {
+			return a < b
+		}
+		return out[i].Spec.Measure < out[j].Spec.Measure
+	})
+	return out
+}
+
+// VerifyDeterminism executes spec twice from scratch (no memoisation) and
+// diffs the two full metric snapshots bit-exactly. Any nonzero diff —
+// a counter off by one, a derived gauge differing in the last bit — is a
+// determinism violation: some state leaked between runs or an unseeded
+// source of randomness crept into the simulator. This is the falsifiable
+// check every performance PR runs against silent metric drift.
+func VerifyDeterminism(spec RunSpec) error {
+	a, err := Execute(spec)
+	if err != nil {
+		return fmt.Errorf("determinism %s: first run: %w", spec.Key(), err)
+	}
+	b, err := Execute(spec)
+	if err != nil {
+		return fmt.Errorf("determinism %s: second run: %w", spec.Key(), err)
+	}
+	if diff := a.Metrics.Diff(b.Metrics); len(diff) > 0 {
+		show := diff
+		if len(show) > 20 {
+			show = show[:20]
+		}
+		return fmt.Errorf("determinism %s: %d metrics differ between identical runs:\n  %s",
+			spec.Key(), len(diff), strings.Join(show, "\n  "))
+	}
+	if len(a.Samples) != len(b.Samples) {
+		return fmt.Errorf("determinism %s: sample counts differ: %d vs %d",
+			spec.Key(), len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if diff := a.Samples[i].Metrics.Diff(b.Samples[i].Metrics); len(diff) > 0 {
+			return fmt.Errorf("determinism %s: sample %d differs: %s",
+				spec.Key(), i, strings.Join(diff[:1], ""))
+		}
+	}
+	return nil
 }
 
 // spec builds a RunSpec from options.

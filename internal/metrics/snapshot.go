@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a stable-ordered view of every registered metric at one
+// instant. Counters (and expanded histogram buckets) are exact integers;
+// gauges are float64 values that round-trip bit-exactly through JSON.
+// Snapshots are plain values: safe to compare, serialise, and pass across
+// goroutines.
+type Snapshot struct {
+	Counters map[string]uint64  `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Names returns every metric name in the snapshot, sorted.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Counter returns the named counter value and whether it exists.
+func (s Snapshot) Counter(name string) (uint64, bool) {
+	v, ok := s.Counters[name]
+	return v, ok
+}
+
+// Gauge returns the named gauge value and whether it exists.
+func (s Snapshot) Gauge(name string) (float64, bool) {
+	v, ok := s.Gauges[name]
+	return v, ok
+}
+
+// Equal reports whether two snapshots are bit-identical: same names, same
+// counter values, and gauges equal under math.Float64bits (so -0 vs 0 or
+// differently rounded results are detected, not papered over).
+func (s Snapshot) Equal(o Snapshot) bool { return len(s.Diff(o)) == 0 }
+
+// Diff returns one human-readable line per discrepancy between s and o, in
+// sorted name order. An empty result means the snapshots are bit-identical.
+func (s Snapshot) Diff(o Snapshot) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for n, a := range s.Counters {
+		seen[n] = true
+		if b, ok := o.Counters[n]; !ok {
+			out = append(out, fmt.Sprintf("%s: %d != (missing)", n, a))
+		} else if a != b {
+			out = append(out, fmt.Sprintf("%s: %d != %d", n, a, b))
+		}
+	}
+	for n, b := range o.Counters {
+		if !seen[n] {
+			out = append(out, fmt.Sprintf("%s: (missing) != %d", n, b))
+		}
+	}
+	for n, a := range s.Gauges {
+		key := "gauge " + n
+		if b, ok := o.Gauges[n]; !ok {
+			out = append(out, fmt.Sprintf("%s: %v != (missing)", key, a))
+		} else if math.Float64bits(a) != math.Float64bits(b) {
+			out = append(out, fmt.Sprintf("%s: %v != %v", key, a, b))
+		}
+	}
+	for n, b := range o.Gauges {
+		if _, ok := s.Gauges[n]; !ok {
+			out = append(out, fmt.Sprintf("gauge %s: (missing) != %v", n, b))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON. Map keys marshal in
+// sorted order, so the output is deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshotJSON parses a snapshot previously written by WriteJSON.
+func ReadSnapshotJSON(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, err
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]uint64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	return s, nil
+}
+
+// WriteCSV writes "kind,name,value" rows in sorted name order. Gauge
+// values use the shortest representation that round-trips.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "name", "value"}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := cw.Write([]string{"counter", n, strconv.FormatUint(s.Counters[n], 10)}); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := cw.Write([]string{"gauge", n, strconv.FormatFloat(s.Gauges[n], 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Sample is one interval snapshot of a run, taken every N retired
+// instructions when sampling is enabled (IPC/MPKI trajectories).
+type Sample struct {
+	// Instructions is the retired-instruction count at sampling time
+	// (measured window, post-warmup).
+	Instructions uint64 `json:"instructions"`
+	// Metrics is the full registry snapshot at that point.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// Export is the on-disk format of `pdipsim -stats-json`: run identity, the
+// final snapshot, and the optional interval samples.
+type Export struct {
+	Benchmark string   `json:"benchmark,omitempty"`
+	Policy    string   `json:"policy,omitempty"`
+	Final     Snapshot `json:"final"`
+	Samples   []Sample `json:"samples,omitempty"`
+}
+
+// WriteJSON writes the export as indented, deterministic JSON.
+func (e Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

@@ -1,0 +1,18 @@
+package prefetch
+
+import "pdip/internal/metrics"
+
+// RegisterMetrics binds the prefetch queue's issue accounting under prefix
+// (conventionally "pq") into reg. Bindings are snapshot-time views over
+// Stats; the enqueue/drain hot path is untouched.
+func (q *Queue) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+".enqueued", func() uint64 { return q.Stats.Enqueued })
+	reg.CounterFunc(prefix+".dropped_queue_full", func() uint64 { return q.Stats.DroppedQueueFull })
+	reg.CounterFunc(prefix+".issued", func() uint64 { return q.Stats.Issued })
+	reg.CounterFunc(prefix+".dropped_present", func() uint64 { return q.Stats.DroppedPresent })
+	reg.CounterFunc(prefix+".dropped_mshr", func() uint64 { return q.Stats.DroppedMSHR })
+	reg.CounterFunc(prefix+".trigger.none", func() uint64 { return q.Stats.ByTrigger[TriggerNone] })
+	reg.CounterFunc(prefix+".trigger.mispredict", func() uint64 { return q.Stats.ByTrigger[TriggerMispredict] })
+	reg.CounterFunc(prefix+".trigger.last_taken", func() uint64 { return q.Stats.ByTrigger[TriggerLastTaken] })
+	reg.Gauge(prefix + ".capacity").Set(float64(len(q.entries)))
+}

@@ -1,0 +1,13 @@
+package rdip
+
+import "pdip/internal/metrics"
+
+// RegisterMetrics implements metrics.Registrant, publishing the signature
+// table's accounting under "rdip". Bindings are snapshot-time views over
+// Stats, so ResetStats is reflected automatically.
+func (r *RDIP) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("rdip.context_switches", func() uint64 { return r.Stats.ContextSwitches })
+	reg.CounterFunc("rdip.recorded", func() uint64 { return r.Stats.Recorded })
+	reg.CounterFunc("rdip.hits", func() uint64 { return r.Stats.Hits })
+	reg.Gauge("rdip.storage_kb").Set(r.StorageKB())
+}

@@ -23,6 +23,7 @@ import (
 	"pdip/internal/cfg"
 	"pdip/internal/core"
 	"pdip/internal/harness"
+	"pdip/internal/metrics"
 	"pdip/internal/policy"
 	"pdip/internal/workload"
 )
@@ -59,8 +60,26 @@ type ProgramParams = cfg.Params
 // via DefaultCoreConfig).
 type CoreConfig = core.Config
 
+// Snapshot is a stable-ordered capture of every registered metric of a
+// run: named counters (with histogram buckets expanded) plus float gauges.
+type Snapshot = metrics.Snapshot
+
+// Sample is one per-interval Snapshot taken every RunSpec.SampleEvery
+// retired instructions.
+type Sample = metrics.Sample
+
+// MetricsExport is the JSON document written by `pdipsim -stats-json`:
+// the final snapshot plus any interval samples.
+type MetricsExport = metrics.Export
+
 // Run executes one simulation run without memoisation.
 func Run(spec RunSpec) (*RunResult, error) { return harness.Execute(spec) }
+
+// VerifyDeterminism runs spec twice from scratch and returns an error
+// describing the first divergence if the two full metric snapshots are not
+// bit-identical. Deterministic replay is the simulator's core correctness
+// contract; see DESIGN.md §Observability.
+func VerifyDeterminism(spec RunSpec) error { return harness.VerifyDeterminism(spec) }
 
 // NewRunner returns a memoising runner bounded to n concurrent runs
 // (n <= 0 uses GOMAXPROCS).
