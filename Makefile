@@ -35,7 +35,7 @@ golden:
 golden-update:
 	$(GO) test ./internal/harness -run 'TestGoldenMetrics' -update
 
-check: vet build test race determinism
+check: vet build test race determinism golden
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem

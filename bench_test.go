@@ -14,6 +14,7 @@ import (
 	"pdip/internal/cfg"
 	"pdip/internal/core"
 	"pdip/internal/isa"
+	"pdip/internal/mem"
 	ipdip "pdip/internal/pdip"
 	"pdip/internal/prefetch"
 	"pdip/internal/trace"
@@ -178,6 +179,75 @@ func BenchmarkWalker(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Next()
+	}
+}
+
+// --- per-stage micro-benches (EXPERIMENTS.md before/after table) ---
+//
+// These isolate the three hot paths the pipeline/port refactor touched:
+// a resident cache lookup (one port message, replied at L1), the full
+// fetch path (messages traversing L1I→L2→L3→DRAM on cold lines), and the
+// prefetch-queue drain into the instruction port. CoreStep measures one
+// whole-pipeline tick for the composite view.
+
+// BenchmarkMicroCacheLookup measures a warm L1I lookup through the
+// instruction port — the per-message overhead of the port model.
+func BenchmarkMicroCacheLookup(b *testing.B) {
+	h := mem.MustNew(core.DefaultConfig().Mem)
+	p := h.InstPort()
+	p.Send(mem.Req{Op: mem.OpFetch, Line: addr(0x1000), At: 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Send(mem.Req{Op: mem.OpFetch, Line: addr(0x1000), At: int64(i) + 10_000})
+	}
+}
+
+// BenchmarkMicroFetchPath measures demand fetches over a footprint larger
+// than the L1I, so messages regularly traverse the full port chain.
+func BenchmarkMicroFetchPath(b *testing.B) {
+	h := mem.MustNew(core.DefaultConfig().Mem)
+	p := h.InstPort()
+	const footprint = 4096 // lines; 256KB >> 32KB L1I
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := addr(uint64(i%footprint) * 64)
+		p.Send(mem.Req{Op: mem.OpFetch, Line: line, At: int64(i) * 3})
+	}
+}
+
+// BenchmarkMicroPQDrain measures enqueue + priority-ordered drain of the
+// prefetch queue into the instruction port.
+func BenchmarkMicroPQDrain(b *testing.B) {
+	h := mem.MustNew(core.DefaultConfig().Mem)
+	q := prefetch.NewQueue(32)
+	noPriority := func(isa.Addr) bool { return false }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i) * 8 * 64
+		for j := uint64(0); j < 8; j++ {
+			q.Enqueue(prefetch.Request{Line: addr(base + j*64)})
+		}
+		q.Drain(h.InstPort(), int64(i)*4, noPriority)
+	}
+}
+
+// BenchmarkMicroCoreStep measures one full pipeline tick (all six stages)
+// on the default machine, reported per retired instruction.
+func BenchmarkMicroCoreStep(b *testing.B) {
+	prof, err := workload.ByName("kafka")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := prof.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.DefaultConfig()
+	c.Seed = 1
+	co := core.MustNew(prog, c)
+	b.ResetTimer()
+	if err := co.Run(uint64(b.N)); err != nil {
+		b.Fatal(err)
 	}
 }
 

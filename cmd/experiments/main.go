@@ -8,6 +8,8 @@
 //	experiments -run fig10 -benchmarks cassandra,tpcc,verilator
 //	experiments -run fig10 -metrics runs.json   # dump every run's registry
 //	experiments -list
+//	experiments -list-benchmarks
+//	experiments -list-policies
 package main
 
 import (
@@ -30,8 +32,27 @@ func main() {
 		benchCSV = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
 		par      = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
 		metrics  = flag.String("metrics", "", "after the experiment, write every executed run's full metrics registry as JSON to this path, keyed by benchmark/policy")
+		listB    = flag.Bool("list-benchmarks", false, "print Table 2 benchmark registry and exit")
+		listP    = flag.Bool("list-policies", false, "print Table 3 policy registry and exit")
 	)
 	flag.Parse()
+
+	// Discovery flags mirror cmd/pdipsim, so the grids an experiment can
+	// sweep (-benchmarks subsets, policy columns) are enumerable here too.
+	if *listB {
+		fmt.Printf("%-16s %-12s %s\n", "BENCHMARK", "SUITE", "DESCRIPTION")
+		for _, p := range pdip.Benchmarks() {
+			fmt.Printf("%-16s %-12s %s\n", p.Name, p.Suite, p.Description)
+		}
+		return
+	}
+	if *listP {
+		fmt.Printf("%-24s %s\n", "POLICY", "DESCRIPTION")
+		for _, p := range pdip.Policies() {
+			fmt.Printf("%-24s %s\n", p.Name, p.Description)
+		}
+		return
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")

@@ -11,13 +11,11 @@ import (
 	"pdip/internal/isa"
 	"pdip/internal/mem"
 	"pdip/internal/metrics"
+	"pdip/internal/pipeline"
 	"pdip/internal/prefetch"
 	"pdip/internal/rng"
 	"pdip/internal/trace"
 )
-
-// dataBase places the synthetic data region far from code.
-const dataBase isa.Addr = 0x10_0000_0000
 
 // resteerEvent is the single pending front-end redirect.
 type resteerEvent struct {
@@ -27,22 +25,32 @@ type resteerEvent struct {
 	cause   frontend.ResteerCause
 }
 
-// Core is one simulated core bound to a program.
+// Core is one simulated core bound to a program. The per-cycle work is
+// decomposed into pipeline stages (stage_*.go) ticked in order by pipe;
+// Core itself holds the architectural and microarchitectural state the
+// stages share, plus the latches between them.
 type Core struct {
 	cfg  Config
 	prog *cfg.Program
 
 	hier *mem.Hierarchy
-	bp   *bpu.BPU
-	iag  *frontend.IAG
-	ftq  *frontend.FTQ
-	pq   *prefetch.Queue
-	rob  *backend.ROB
-	pf   prefetch.Prefetcher
+	// iport and dport are the hierarchy's front ports; every stage access
+	// to the memory system is a message through one of them.
+	iport mem.Port
+	dport mem.Port
 
-	// decodeQ is the fetch/decode buffer between IFU and allocation.
-	decodeQ []*frontend.Uop
-	dqHead  int
+	bp  *bpu.BPU
+	iag *frontend.IAG
+	ftq *frontend.FTQ
+	pq  *prefetch.Queue
+	rob *backend.ROB
+	pf  prefetch.Prefetcher
+
+	// pipe is the ordered stage list ticked once per cycle.
+	pipe *pipeline.Pipeline
+
+	// decodeQ is the fetch→decode latch between IFU and allocation.
+	decodeQ pipeline.Latch[*frontend.Uop]
 
 	ifuEntry *frontend.FTQEntry
 
@@ -86,7 +94,8 @@ type Core struct {
 	promoRng *rng.RNG
 
 	// reg is the unified metrics registry every component publishes into;
-	// ct holds the core's own counters, resolved once at construction.
+	// ct holds the core's own counters grouped by owning stage, resolved
+	// once at construction.
 	reg *metrics.Registry
 	ct  counters
 
@@ -133,6 +142,8 @@ func New(prog *cfg.Program, c Config) (*Core, error) {
 		cfg:      c,
 		prog:     prog,
 		hier:     hier,
+		iport:    hier.InstPort(),
+		dport:    hier.DataPort(),
 		bp:       bp,
 		iag:      frontend.NewIAG(bp, oracle, c.MaxEntryInsts),
 		ftq:      frontend.NewFTQ(c.FTQDepth),
@@ -146,6 +157,14 @@ func New(prog *cfg.Program, c Config) (*Core, error) {
 		reg:      reg,
 		ct:       newCounters(reg),
 	}
+	co.pipe = pipeline.New(
+		&retireStage{co: co},
+		&resteerStage{co: co},
+		&decodeStage{co: co},
+		&fetchStage{co: co},
+		&predictStage{co: co},
+		&prefetchDrainStage{co: co},
+	)
 	co.registerMetrics()
 	if c.CollectSets {
 		co.fecSet = make(map[isa.Addr]struct{})
@@ -177,6 +196,9 @@ func (co *Core) Cycles() int64 { return co.now }
 // Retired returns total retired instructions since construction.
 func (co *Core) Retired() uint64 { return co.retired }
 
+// Pipeline returns the ordered stage list (diagnostics and tests).
+func (co *Core) Pipeline() *pipeline.Pipeline { return co.pipe }
+
 // Run advances the simulation until n more instructions retire. It returns
 // an error if the cycle budget explodes (misconfiguration guard).
 func (co *Core) Run(n uint64) error {
@@ -196,6 +218,15 @@ func (co *Core) Run(n uint64) error {
 	return nil
 }
 
+// step advances one cycle: per-cycle bookkeeping, then every pipeline
+// stage in order (oldest work first — see New for the stage sequence).
+func (co *Core) step() {
+	co.now++
+	co.ct.pipe.cycles.Inc()
+	co.ct.pipe.ftqOcc.Observe(float64(co.ftq.Len()))
+	co.pipe.Tick(co.now)
+}
+
 // ResetStats zeroes all measurement counters while keeping architectural
 // and microarchitectural state (caches, predictors, tables) warm. Call
 // after the warmup window, mirroring the paper's methodology (§6.1).
@@ -213,529 +244,3 @@ func (co *Core) ResetStats() {
 		r.ResetStats()
 	}
 }
-
-// step advances one cycle.
-func (co *Core) step() {
-	co.now++
-	co.ct.cycles.Inc()
-	co.ct.ftqOcc.Observe(float64(co.ftq.Len()))
-
-	co.retire()
-	co.applyResteer()
-	co.decode()
-	width := co.cfg.FetchWidth
-	if width <= 0 {
-		width = 1
-	}
-	for i := 0; i < width; i++ {
-		co.fetch()
-	}
-	iag := co.cfg.IAGWidth
-	if iag <= 0 {
-		iag = 1
-	}
-	for i := 0; i < iag; i++ {
-		co.predict()
-	}
-	co.drainRetireEmitter()
-	co.pq.Drain(co.hier, co.now, co.priorityOf)
-}
-
-// drainRetireEmitter moves retire-time prefetch requests (next-line, RDIP,
-// FNL+MMA style prefetchers) into the PQ.
-func (co *Core) drainRetireEmitter() {
-	if co.pfEmitter == nil {
-		return
-	}
-	co.reqBuf = co.pfEmitter.TakePending(co.reqBuf[:0])
-	for _, r := range co.reqBuf {
-		if co.ftq.Contains(r.Line) {
-			co.ct.pfDroppedFTQ.Inc()
-			continue
-		}
-		if co.pfSet != nil {
-			co.pfSet[r.Line] = co.now
-		}
-		co.pq.Enqueue(r)
-	}
-}
-
-// priorityOf reports whether a prefetched line should carry the EMISSARY
-// P-bit (PDIP+EMISSARY physical synergy: one FEC-tracking mechanism).
-func (co *Core) priorityOf(line isa.Addr) bool {
-	if !co.cfg.Emissary && !co.cfg.FECIdeal {
-		return false
-	}
-	_, ok := co.promoted[line]
-	return ok
-}
-
-// ---------------------------------------------------------------- retire
-
-func (co *Core) retire() {
-	co.retireBuf = co.rob.Retire(co.now, co.cfg.RetireWidth, co.retireBuf[:0])
-	for _, u := range co.retireBuf {
-		co.retireUop(u)
-	}
-}
-
-func (co *Core) retireUop(u *frontend.Uop) {
-	co.retired++
-	co.ct.instructions.Inc()
-	if co.sampleEvery > 0 {
-		if n := co.ct.instructions.Load(); n%co.sampleEvery == 0 {
-			co.samples = append(co.samples, metrics.Sample{Instructions: n, Metrics: co.reg.Snapshot()})
-		}
-	}
-
-	if ep := u.Ep; ep != nil && !ep.Processed {
-		ep.Processed = true
-		co.processEpisode(ep)
-	}
-	if u.Inst.Kind.IsBranch() && u.Inst.Taken {
-		co.lastTakenBlock = u.Inst.PC.Line()
-	}
-	if co.pfCallsRet != nil {
-		if u.Inst.Kind.IsCall() {
-			co.pfCallsRet.OnCallReturn(true, u.Inst.PC, u.Inst.FallThrough())
-		} else if u.Inst.Kind == isa.Return {
-			co.pfCallsRet.OnCallReturn(false, u.Inst.PC, 0)
-		}
-	}
-}
-
-// processEpisode evaluates the FEC conditions for a retired line episode
-// and feeds EMISSARY promotion and the prefetcher (§2.1, §4.1, §4.2).
-func (co *Core) processEpisode(ep *frontend.LineEpisode) {
-	co.ct.linesRetired.Inc()
-	fec := ep.Missed && ep.Starve > 0
-	highCost := fec && ep.Starve > co.cfg.HighCostThreshold
-
-	if ep.WasPrefetch && ep.ResteerTrigger != 0 && !fec {
-		co.ct.shadowCovered.Inc()
-	}
-	if fec {
-		if co.pfSet != nil && len(co.fecTrace) < 4000 {
-			co.fecTrace = append(co.fecTrace, FECInstance{
-				Line:    ep.Line,
-				Trigger: ep.ResteerTrigger,
-				Starve:  ep.Starve,
-				Served:  ep.ServedBy,
-			})
-		}
-		if co.pfSet != nil {
-			if holder, ok := co.pf.(interface{ DebugHolds(t, l isa.Addr) bool }); ok {
-				switch {
-				case ep.ResteerTrigger == 0:
-					co.fecHolds[0]++
-				case holder.DebugHolds(ep.ResteerTrigger, ep.Line):
-					co.fecHolds[1]++
-				default:
-					co.fecHolds[2]++
-				}
-			}
-		}
-		if co.pfSet != nil {
-			if at, ok := co.pfSet[ep.Line]; !ok {
-				co.fecReqAge[0]++
-			} else if age := ep.FetchCycle - at; age > 10000 {
-				co.fecReqAge[1]++
-			} else if age > 100 {
-				co.fecReqAge[2]++
-			} else {
-				co.fecReqAge[3]++
-			}
-		}
-		co.ct.fecLines.Inc()
-		if ep.WasPrefetch {
-			co.ct.fecCoveredLate.Inc()
-		}
-		if _, seen := co.fecEver[ep.Line]; seen {
-			co.ct.fecRepeatLines.Inc()
-		}
-		co.ct.fecStallCycles.Add(uint64(ep.Starve))
-		if highCost {
-			co.ct.highCostFECLines.Inc()
-			if ep.BackendEmpty {
-				co.ct.highCostBackend.Inc()
-			}
-		}
-		co.fecEver[ep.Line] = struct{}{}
-		if co.fecSet != nil {
-			co.fecSet[ep.Line] = struct{}{}
-		}
-		if (co.cfg.Emissary || co.cfg.FECIdeal) && co.promoRng.Bool(co.cfg.EmissaryPromoteProb) {
-			co.promoted[ep.Line] = struct{}{}
-			co.hier.PromoteInstLine(ep.Line)
-		}
-	} else if ep.Starve > 0 {
-		co.ct.nonFECStall.Add(uint64(ep.Starve))
-	}
-
-	co.pf.OnLineRetired(prefetch.RetireEvent{
-		Line:             ep.Line,
-		Missed:           ep.Missed,
-		ServedBy:         ep.ServedBy,
-		FetchCycle:       ep.FetchCycle,
-		FetchLatency:     ep.DoneCycle - ep.FetchCycle,
-		StarveCycles:     ep.Starve,
-		BackendEmpty:     ep.BackendEmpty,
-		FEC:              fec,
-		HighCost:         highCost,
-		ResteerTrigger:   ep.ResteerTrigger,
-		ResteerWasReturn: ep.ResteerWasReturn,
-		LastTakenBlock:   co.lastTakenBlock,
-	})
-}
-
-// --------------------------------------------------------------- resteer
-
-func (co *Core) applyResteer() {
-	ev := co.pendingResteer
-	if ev == nil || co.now < ev.at {
-		return
-	}
-	co.pendingResteer = nil
-
-	switch ev.cause {
-	case frontend.ResteerBTBMiss:
-		co.ct.resteerBTBMiss.Inc()
-	case frontend.ResteerReturn:
-		co.ct.resteerReturn.Inc()
-	default:
-		co.ct.resteerMispredict.Inc()
-	}
-
-	// Flush speculative front-end state. The PQ is intentionally not
-	// flushed: its entries are prefetch hints, not control flow.
-	co.ftq.Flush()
-	if co.ifuEntry != nil && co.ifuEntry.WrongPath {
-		co.ifuEntry = nil
-	}
-	co.filterDecodeQ()
-	co.rob.SquashWrongPath()
-
-	co.iag.Resteer()
-	co.iagResumeAt = co.now + int64(co.cfg.ResteerPenalty)
-
-	co.shadowTrigger = ev.trigger
-	co.shadowWasReturn = ev.cause == frontend.ResteerReturn
-	co.shadowLeft = co.cfg.ResteerShadowBlocks
-}
-
-// filterDecodeQ drops wrong-path uops from the decode buffer.
-func (co *Core) filterDecodeQ() {
-	kept := co.decodeQ[:0]
-	for i := co.dqHead; i < len(co.decodeQ); i++ {
-		if !co.decodeQ[i].WrongPath {
-			kept = append(kept, co.decodeQ[i])
-		}
-	}
-	co.decodeQ = kept
-	co.dqHead = 0
-}
-
-// ---------------------------------------------------------------- decode
-
-func (co *Core) decode() {
-	width := co.cfg.DecodeWidth
-	moved := 0
-	robFull := false
-	for moved < width {
-		if co.rob.Full() {
-			robFull = true
-			break
-		}
-		if co.dqHead >= len(co.decodeQ) {
-			break
-		}
-		u := co.decodeQ[co.dqHead]
-		if u.AvailableAt > co.now {
-			break
-		}
-		co.dqHead++
-		co.allocate(u)
-		moved++
-	}
-	if co.dqHead == len(co.decodeQ) && len(co.decodeQ) > 0 {
-		co.decodeQ = co.decodeQ[:0]
-		co.dqHead = 0
-	}
-
-	// Top-down issue-slot accounting (Figure 1).
-	leftover := uint64(width - moved)
-	if robFull {
-		co.ct.tdBackend.Add(leftover)
-	} else {
-		co.ct.tdFrontend.Add(leftover)
-	}
-
-	// Decode starvation: nothing delivered while the back-end could
-	// accept. Attribute to the line blocking the IFU, if it missed.
-	if moved == 0 && !robFull {
-		co.ct.decodeStarved.Inc()
-		switch {
-		case co.blockingEpisodeStarve():
-			co.ct.starvedOnMiss.Inc()
-		case co.ifuEntry == nil && co.ftq.Len() == 0:
-			co.ct.starveNoEntry.Inc()
-		case co.dqHead < len(co.decodeQ):
-			co.ct.starvePipe.Inc()
-		default:
-			co.ct.starveOther.Inc()
-		}
-	}
-}
-
-// blockingEpisodeStarve attributes a starved cycle to the missed line
-// episode the IFU is stalled on, returning false when the bubble has
-// another cause (e.g. post-resteer refill).
-func (co *Core) blockingEpisodeStarve() bool {
-	e := co.ifuEntry
-	if e == nil || co.now >= e.ReadyAt {
-		return false
-	}
-	for _, ep := range e.Episodes {
-		if ep.Missed && ep.DoneCycle > co.now {
-			ep.Starve++
-			// Issue-queue-empty proxy: the back-end has (nearly) run out
-			// of work. The modelled ROB stands in for the issue queue, so
-			// the threshold is an IQ-sized occupancy, not strict empty.
-			if co.rob.Len() < 64 {
-				ep.BackendEmpty = true
-			}
-			return true
-		}
-	}
-	return false
-}
-
-// allocate moves a uop into the ROB, assigning completion time, issuing
-// its data access, and scheduling the resteer for mispredicted branches.
-func (co *Core) allocate(u *frontend.Uop) {
-	if u.WrongPath {
-		co.ct.wrongPath.Inc()
-		co.ct.tdBadSpec.Inc()
-	} else {
-		co.ct.tdRetiring.Inc()
-	}
-
-	switch {
-	case u.IsMemOp:
-		res := co.hier.AccessData(u.DataLine, co.now)
-		u.DoneAt = res.Done + 1
-	case u.Inst.Kind.IsBranch():
-		u.DoneAt = co.now + int64(co.cfg.BranchResolveLat)
-	default:
-		u.DoneAt = co.now + int64(co.cfg.ExecLat)
-	}
-
-	if u.Mispredict {
-		at := u.DoneAt
-		if u.ResolveAtDecode {
-			at = co.now
-		}
-		co.pendingResteer = &resteerEvent{
-			at:      at,
-			target:  u.CorrectTarget,
-			trigger: u.TriggerBlock,
-			cause:   u.Cause,
-		}
-	}
-	co.rob.Push(u)
-}
-
-// ----------------------------------------------------------------- fetch
-
-func (co *Core) fetch() {
-	// Start a new entry when idle.
-	if co.ifuEntry == nil {
-		e := co.ftq.Pop()
-		if e == nil {
-			return
-		}
-		co.startFetch(e)
-	}
-	e := co.ifuEntry
-	if co.now < e.ReadyAt {
-		return
-	}
-	// Respect the decode-buffer bound.
-	if len(co.decodeQ)-co.dqHead+len(e.Insts) > co.cfg.DecodeQDepth {
-		return
-	}
-	co.deliver(e)
-	co.ifuEntry = nil
-}
-
-// startFetch issues demand accesses for every line of the entry and
-// creates the fetch episodes the FEC machinery tracks.
-func (co *Core) startFetch(e *frontend.FTQEntry) {
-	ready := co.now
-	e.Episodes = make([]*frontend.LineEpisode, len(e.Lines))
-	for i, line := range e.Lines {
-		ep := &frontend.LineEpisode{
-			Line:             line,
-			WrongPath:        e.WrongPath,
-			FetchCycle:       co.now,
-			ResteerTrigger:   e.ShadowTrigger,
-			ResteerWasReturn: e.ShadowWasReturn,
-		}
-		if co.cfg.FECIdeal && co.isFECEver(line) {
-			// FEC-Ideal: FEC-qualified lines always arrive with L1I hit
-			// latency (§3's ceiling).
-			ep.DoneCycle = co.now
-		} else {
-			res := co.hier.FetchInst(line, co.now, co.isPromoted(line))
-			// A line still in flight at demand time (partial hit) is a
-			// miss the FTQ prefetch could not fully hide — exactly the
-			// class the FEC conditions are about (§2.1).
-			ep.Missed = !res.L1Hit || res.WasInflight
-			ep.WasPrefetch = res.WasPrefetch
-			ep.ServedBy = res.ServedBy
-			if res.L1Hit && !res.WasInflight {
-				// Pipelined hit: latency folded into DecodePipeLat.
-				ep.DoneCycle = co.now
-			} else {
-				ep.DoneCycle = res.Done
-			}
-		}
-		e.Episodes[i] = ep
-		if ep.DoneCycle > ready {
-			ready = ep.DoneCycle
-		}
-	}
-	e.ReadyAt = ready
-	co.ifuEntry = e
-}
-
-func (co *Core) isPromoted(line isa.Addr) bool {
-	if !co.cfg.Emissary && !co.cfg.FECIdeal {
-		return false
-	}
-	_, ok := co.promoted[line]
-	return ok
-}
-
-// deliver converts the fetched entry's instructions into uops.
-func (co *Core) deliver(e *frontend.FTQEntry) {
-	avail := co.now + int64(co.cfg.DecodePipeLat)
-	epFor := func(pc isa.Addr) *frontend.LineEpisode {
-		ln := pc.Line()
-		for _, ep := range e.Episodes {
-			if ep.Line == ln {
-				return ep
-			}
-		}
-		return e.Episodes[0]
-	}
-	for i := range e.Insts {
-		in := e.Insts[i]
-		co.seq++
-		u := &frontend.Uop{
-			Inst:        in,
-			Seq:         co.seq,
-			WrongPath:   e.WrongPath,
-			Ep:          epFor(in.PC),
-			AvailableAt: avail,
-		}
-		if in.Kind == isa.NotBranch && co.dataRng.Bool(co.cfg.MemOpFrac) {
-			u.IsMemOp = true
-			u.DataLine = co.genDataLine()
-		}
-		if e.Mispredict && i == len(e.Insts)-1 {
-			u.Mispredict = true
-			u.ResolveAtDecode = e.ResolveAtDecode
-			u.Cause = e.Cause
-			u.CorrectTarget = e.CorrectTarget
-			// The PDIP trigger key is the block (line) address of the
-			// trigger *instruction* (SS5.1) - stable across occurrences,
-			// unlike FTQ-entry boundaries, which depend on which of the
-			// preceding branches happened to be taken.
-			u.TriggerBlock = in.PC.Line()
-		}
-		co.decodeQ = append(co.decodeQ, u)
-	}
-}
-
-// genDataLine draws from the workload's synthetic data-address stream.
-func (co *Core) genDataLine() isa.Addr {
-	hot := co.cfg.DataHotLines
-	cold := co.cfg.DataColdLines
-	if hot <= 0 {
-		hot = 1
-	}
-	if cold <= 0 {
-		cold = 1
-	}
-	var idx int
-	if co.dataRng.Bool(co.cfg.DataHotFrac) {
-		idx = co.dataRng.Intn(hot)
-	} else {
-		idx = hot + co.dataRng.Intn(cold)
-	}
-	return dataBase + isa.Addr(idx*isa.LineSize)
-}
-
-// --------------------------------------------------------------- predict
-
-// predict runs the IAG for one cycle: assemble the next predicted basic
-// block, enqueue it in the FTQ, issue the FDIP prefetch for its lines, and
-// consult the prefetcher (PDIP table lookup happens once per new FTQ
-// entry, §4.2).
-func (co *Core) predict() {
-	if co.ftq.Full() || co.now < co.iagResumeAt {
-		return
-	}
-	e := co.iag.NextEntry()
-
-	if !e.WrongPath && co.shadowLeft > 0 {
-		e.ShadowTrigger = co.shadowTrigger
-		e.ShadowWasReturn = co.shadowWasReturn
-		co.shadowLeft--
-	}
-
-	co.ftq.Push(e)
-
-	// FDIP prefetch: FTQ entries directly prime the L1I (§2.1). One MSHR
-	// is reserved so demand fetches are never fully locked out.
-	if !co.cfg.DisableFDIPPrefetch {
-		for _, line := range e.Lines {
-			co.hier.PrimeInst(line, co.now, 1, co.isPromoted(line))
-		}
-	}
-
-	// Prefetcher consultation, one probe per distinct line of the entry
-	// (the entry's block address, plus spill lines for spanning blocks).
-	co.reqBuf = co.reqBuf[:0]
-	for _, line := range e.Lines {
-		co.reqBuf = co.pf.OnFTQInsert(line, co.reqBuf)
-	}
-	for _, r := range co.reqBuf {
-		// Duplicate suppression against the FTQ (§6.2).
-		if co.ftq.Contains(r.Line) {
-			co.ct.pfDroppedFTQ.Inc()
-			continue
-		}
-		if co.pfSet != nil {
-			co.pfSet[r.Line] = co.now
-		}
-		co.pq.Enqueue(r)
-	}
-}
-
-// isFECEver reports whether line ever met the FEC conditions (FEC-Ideal).
-func (co *Core) isFECEver(line isa.Addr) bool {
-	_, ok := co.fecEver[line]
-	return ok
-}
-
-// FECInstance is a sampled FEC episode for diagnostics.
-type FECInstance struct {
-	Line, Trigger isa.Addr
-	Starve        int
-	Served        mem.Level
-}
-
-// FECTrace returns sampled FEC instances (CollectSets only).
-func (co *Core) FECTrace() []FECInstance { return co.fecTrace }

@@ -5,57 +5,100 @@ import (
 	"pdip/internal/stats"
 )
 
-// counters holds the registry-owned counters behind stats.Core. The core
-// increments through these pointers (resolved once at construction — no
-// lookups or reflection on the hot path); Result() materialises the
-// stats.Core value struct from them, so the snapshot API is a view over
-// the registry.
+// counters holds the registry-owned counters behind stats.Core, grouped
+// by the pipeline stage that owns (increments) them. The stages increment
+// through these pointers (resolved once at construction — no lookups or
+// reflection on the hot path); Result() materialises the stats.Core value
+// struct from them, so the snapshot API is a view over the registry.
+// Registered metric names are stable across the stage decomposition: the
+// grouping is an ownership structure, not a renaming.
 type counters struct {
-	cycles, instructions, wrongPath *metrics.Counter
+	pipe     pipeCounters
+	retire   retireCounters
+	resteer  resteerCounters
+	decode   decodeCounters
+	prefetch prefetchCounters
+}
 
-	resteerMispredict, resteerBTBMiss, resteerReturn *metrics.Counter
-
-	decodeStarved, starvedOnMiss, starveNoEntry, starvePipe, starveOther *metrics.Counter
-
-	linesRetired, fecLines, fecRepeatLines     *metrics.Counter
-	highCostFECLines, highCostBackend          *metrics.Counter
-	fecStallCycles, fecCoveredLate             *metrics.Counter
-	shadowCovered, nonFECStall                 *metrics.Counter
-	pfDroppedFTQ                               *metrics.Counter
-	tdRetiring, tdBadSpec, tdFrontend, tdBackend *metrics.Counter
-
+// pipeCounters is per-cycle bookkeeping owned by the cycle loop itself.
+type pipeCounters struct {
+	cycles *metrics.Counter
 	// ftqOcc samples FTQ occupancy once per cycle (decoupling depth).
 	ftqOcc *metrics.Histogram
 }
 
+// retireCounters is owned by the retire stage (instruction retirement and
+// the FEC machinery evaluated there).
+type retireCounters struct {
+	instructions                   *metrics.Counter
+	linesRetired                   *metrics.Counter
+	fecLines, fecRepeatLines       *metrics.Counter
+	highCostFECLines               *metrics.Counter
+	highCostBackend                *metrics.Counter
+	fecStallCycles, fecCoveredLate *metrics.Counter
+	shadowCovered, nonFECStall     *metrics.Counter
+}
+
+// resteerCounters is owned by the resteer stage.
+type resteerCounters struct {
+	mispredict, btbMiss, ret *metrics.Counter
+}
+
+// decodeCounters is owned by the decode/allocate stage (issue-slot
+// top-down accounting and starvation attribution happen there).
+type decodeCounters struct {
+	wrongPath                                    *metrics.Counter
+	decodeStarved                                *metrics.Counter
+	starvedOnMiss, starveNoEntry                 *metrics.Counter
+	starvePipe, starveOther                      *metrics.Counter
+	tdRetiring, tdBadSpec, tdFrontend, tdBackend *metrics.Counter
+}
+
+// prefetchCounters is shared by the two stages that enqueue prefetch
+// requests (predict and prefetch-drain): both apply the FTQ duplicate
+// suppression and account drops to the same counter.
+type prefetchCounters struct {
+	pfDroppedFTQ *metrics.Counter
+}
+
 func newCounters(reg *metrics.Registry) counters {
 	return counters{
-		cycles:            reg.Counter("core.cycles"),
-		instructions:      reg.Counter("core.instructions"),
-		wrongPath:         reg.Counter("core.wrong_path_instructions"),
-		resteerMispredict: reg.Counter("frontend.resteer.mispredict"),
-		resteerBTBMiss:    reg.Counter("frontend.resteer.btb_miss"),
-		resteerReturn:     reg.Counter("frontend.resteer.return"),
-		decodeStarved:     reg.Counter("frontend.decode_starved_cycles"),
-		starvedOnMiss:     reg.Counter("frontend.starve.on_miss"),
-		starveNoEntry:     reg.Counter("frontend.starve.no_entry"),
-		starvePipe:        reg.Counter("frontend.starve.pipe"),
-		starveOther:       reg.Counter("frontend.starve.other"),
-		linesRetired:      reg.Counter("core.lines_retired"),
-		fecLines:          reg.Counter("core.fec.lines"),
-		fecRepeatLines:    reg.Counter("core.fec.repeat_lines"),
-		highCostFECLines:  reg.Counter("core.fec.high_cost_lines"),
-		highCostBackend:   reg.Counter("core.fec.high_cost_backend"),
-		fecStallCycles:    reg.Counter("core.fec.stall_cycles"),
-		fecCoveredLate:    reg.Counter("core.fec.covered_late"),
-		shadowCovered:     reg.Counter("core.fec.shadow_covered"),
-		nonFECStall:       reg.Counter("core.fec.non_fec_stall_cycles"),
-		pfDroppedFTQ:      reg.Counter("frontend.pf_dropped_ftq"),
-		tdRetiring:        reg.Counter("core.topdown.retiring"),
-		tdBadSpec:         reg.Counter("core.topdown.bad_speculation"),
-		tdFrontend:        reg.Counter("core.topdown.frontend_bound"),
-		tdBackend:         reg.Counter("core.topdown.backend_bound"),
-		ftqOcc:            reg.Histogram("frontend.ftq_occupancy", 0, 2, 4, 8, 12, 16, 20, 24),
+		pipe: pipeCounters{
+			cycles: reg.Counter("core.cycles"),
+			ftqOcc: reg.Histogram("frontend.ftq_occupancy", 0, 2, 4, 8, 12, 16, 20, 24),
+		},
+		retire: retireCounters{
+			instructions:     reg.Counter("core.instructions"),
+			linesRetired:     reg.Counter("core.lines_retired"),
+			fecLines:         reg.Counter("core.fec.lines"),
+			fecRepeatLines:   reg.Counter("core.fec.repeat_lines"),
+			highCostFECLines: reg.Counter("core.fec.high_cost_lines"),
+			highCostBackend:  reg.Counter("core.fec.high_cost_backend"),
+			fecStallCycles:   reg.Counter("core.fec.stall_cycles"),
+			fecCoveredLate:   reg.Counter("core.fec.covered_late"),
+			shadowCovered:    reg.Counter("core.fec.shadow_covered"),
+			nonFECStall:      reg.Counter("core.fec.non_fec_stall_cycles"),
+		},
+		resteer: resteerCounters{
+			mispredict: reg.Counter("frontend.resteer.mispredict"),
+			btbMiss:    reg.Counter("frontend.resteer.btb_miss"),
+			ret:        reg.Counter("frontend.resteer.return"),
+		},
+		decode: decodeCounters{
+			wrongPath:     reg.Counter("core.wrong_path_instructions"),
+			decodeStarved: reg.Counter("frontend.decode_starved_cycles"),
+			starvedOnMiss: reg.Counter("frontend.starve.on_miss"),
+			starveNoEntry: reg.Counter("frontend.starve.no_entry"),
+			starvePipe:    reg.Counter("frontend.starve.pipe"),
+			starveOther:   reg.Counter("frontend.starve.other"),
+			tdRetiring:    reg.Counter("core.topdown.retiring"),
+			tdBadSpec:     reg.Counter("core.topdown.bad_speculation"),
+			tdFrontend:    reg.Counter("core.topdown.frontend_bound"),
+			tdBackend:     reg.Counter("core.topdown.backend_bound"),
+		},
+		prefetch: prefetchCounters{
+			pfDroppedFTQ: reg.Counter("frontend.pf_dropped_ftq"),
+		},
 	}
 }
 
@@ -63,32 +106,32 @@ func newCounters(reg *metrics.Registry) counters {
 // counters — the view the Result API and all derived metrics sit on.
 func (ct *counters) statsCore() stats.Core {
 	return stats.Core{
-		Cycles:                ct.cycles.Load(),
-		Instructions:          ct.instructions.Load(),
-		WrongPathInstructions: ct.wrongPath.Load(),
-		ResteerMispredict:     ct.resteerMispredict.Load(),
-		ResteerBTBMiss:        ct.resteerBTBMiss.Load(),
-		ResteerReturn:         ct.resteerReturn.Load(),
-		DecodeStarvedCycles:   ct.decodeStarved.Load(),
-		StarvedOnMiss:         ct.starvedOnMiss.Load(),
-		StarveNoEntry:         ct.starveNoEntry.Load(),
-		StarvePipe:            ct.starvePipe.Load(),
-		StarveOther:           ct.starveOther.Load(),
-		LinesRetired:          ct.linesRetired.Load(),
-		FECLines:              ct.fecLines.Load(),
-		FECRepeatLines:        ct.fecRepeatLines.Load(),
-		HighCostFECLines:      ct.highCostFECLines.Load(),
-		HighCostBackend:       ct.highCostBackend.Load(),
-		FECStallCycles:        ct.fecStallCycles.Load(),
-		FECCoveredLate:        ct.fecCoveredLate.Load(),
-		ShadowCovered:         ct.shadowCovered.Load(),
-		NonFECStall:           ct.nonFECStall.Load(),
-		PFDroppedFTQ:          ct.pfDroppedFTQ.Load(),
+		Cycles:                ct.pipe.cycles.Load(),
+		Instructions:          ct.retire.instructions.Load(),
+		WrongPathInstructions: ct.decode.wrongPath.Load(),
+		ResteerMispredict:     ct.resteer.mispredict.Load(),
+		ResteerBTBMiss:        ct.resteer.btbMiss.Load(),
+		ResteerReturn:         ct.resteer.ret.Load(),
+		DecodeStarvedCycles:   ct.decode.decodeStarved.Load(),
+		StarvedOnMiss:         ct.decode.starvedOnMiss.Load(),
+		StarveNoEntry:         ct.decode.starveNoEntry.Load(),
+		StarvePipe:            ct.decode.starvePipe.Load(),
+		StarveOther:           ct.decode.starveOther.Load(),
+		LinesRetired:          ct.retire.linesRetired.Load(),
+		FECLines:              ct.retire.fecLines.Load(),
+		FECRepeatLines:        ct.retire.fecRepeatLines.Load(),
+		HighCostFECLines:      ct.retire.highCostFECLines.Load(),
+		HighCostBackend:       ct.retire.highCostBackend.Load(),
+		FECStallCycles:        ct.retire.fecStallCycles.Load(),
+		FECCoveredLate:        ct.retire.fecCoveredLate.Load(),
+		ShadowCovered:         ct.retire.shadowCovered.Load(),
+		NonFECStall:           ct.retire.nonFECStall.Load(),
+		PFDroppedFTQ:          ct.prefetch.pfDroppedFTQ.Load(),
 		TopDown: stats.TopDown{
-			Retiring:       ct.tdRetiring.Load(),
-			BadSpeculation: ct.tdBadSpec.Load(),
-			FrontendBound:  ct.tdFrontend.Load(),
-			BackendBound:   ct.tdBackend.Load(),
+			Retiring:       ct.decode.tdRetiring.Load(),
+			BadSpeculation: ct.decode.tdBadSpec.Load(),
+			FrontendBound:  ct.decode.tdFrontend.Load(),
+			BackendBound:   ct.decode.tdBackend.Load(),
 		},
 	}
 }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"pdip/internal/frontend"
+	"pdip/internal/mem"
+)
+
+// decodeStage moves uops from the fetch→decode latch into the ROB, up to
+// the decode width, performing allocation work on the way: execution
+// latency assignment, data-side memory access messages, and resteer
+// scheduling for mispredicted branches. It also does the top-down
+// issue-slot accounting and decode-starvation attribution (Figure 1).
+// It owns the frontend.starve.* and core.topdown.* counters.
+type decodeStage struct {
+	co *Core
+}
+
+// Name implements pipeline.Stage.
+func (s *decodeStage) Name() string { return "decode" }
+
+// Tick implements pipeline.Stage.
+func (s *decodeStage) Tick(now int64) {
+	co := s.co
+	ct := &co.ct.decode
+	width := co.cfg.DecodeWidth
+	moved := 0
+	robFull := false
+	for moved < width {
+		if co.rob.Full() {
+			robFull = true
+			break
+		}
+		u, ok := co.decodeQ.Peek()
+		if !ok || u.AvailableAt > now {
+			break
+		}
+		co.decodeQ.Pop()
+		s.allocate(u, now)
+		moved++
+	}
+
+	// Top-down issue-slot accounting (Figure 1).
+	leftover := uint64(width - moved)
+	if robFull {
+		ct.tdBackend.Add(leftover)
+	} else {
+		ct.tdFrontend.Add(leftover)
+	}
+
+	// Decode starvation: nothing delivered while the back-end could
+	// accept. Attribute to the line blocking the IFU, if it missed.
+	if moved == 0 && !robFull {
+		ct.decodeStarved.Inc()
+		switch {
+		case s.blockingEpisodeStarve(now):
+			ct.starvedOnMiss.Inc()
+		case co.ifuEntry == nil && co.ftq.Len() == 0:
+			ct.starveNoEntry.Inc()
+		case co.decodeQ.Len() > 0:
+			ct.starvePipe.Inc()
+		default:
+			ct.starveOther.Inc()
+		}
+	}
+}
+
+// blockingEpisodeStarve attributes a starved cycle to the missed line
+// episode the IFU is stalled on, returning false when the bubble has
+// another cause (e.g. post-resteer refill).
+func (s *decodeStage) blockingEpisodeStarve(now int64) bool {
+	co := s.co
+	e := co.ifuEntry
+	if e == nil || now >= e.ReadyAt {
+		return false
+	}
+	for _, ep := range e.Episodes {
+		if ep.Missed && ep.DoneCycle > now {
+			ep.Starve++
+			// Issue-queue-empty proxy: the back-end has (nearly) run out
+			// of work. The modelled ROB stands in for the issue queue, so
+			// the threshold is an IQ-sized occupancy, not strict empty.
+			if co.rob.Len() < 64 {
+				ep.BackendEmpty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// allocate moves a uop into the ROB, assigning completion time, issuing
+// its data access, and scheduling the resteer for mispredicted branches.
+func (s *decodeStage) allocate(u *frontend.Uop, now int64) {
+	co := s.co
+	ct := &co.ct.decode
+	if u.WrongPath {
+		ct.wrongPath.Inc()
+		ct.tdBadSpec.Inc()
+	} else {
+		ct.tdRetiring.Inc()
+	}
+
+	switch {
+	case u.IsMemOp:
+		res := co.dport.Send(mem.Req{Op: mem.OpData, Line: u.DataLine, At: now})
+		u.DoneAt = res.Done + 1
+	case u.Inst.Kind.IsBranch():
+		u.DoneAt = now + int64(co.cfg.BranchResolveLat)
+	default:
+		u.DoneAt = now + int64(co.cfg.ExecLat)
+	}
+
+	if u.Mispredict {
+		at := u.DoneAt
+		if u.ResolveAtDecode {
+			at = now
+		}
+		co.pendingResteer = &resteerEvent{
+			at:      at,
+			target:  u.CorrectTarget,
+			trigger: u.TriggerBlock,
+			cause:   u.Cause,
+		}
+	}
+	co.rob.Push(u)
+}

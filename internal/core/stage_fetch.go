@@ -1,0 +1,163 @@
+package core
+
+import (
+	"pdip/internal/frontend"
+	"pdip/internal/isa"
+	"pdip/internal/mem"
+)
+
+// dataBase places the synthetic data region far from code.
+const dataBase isa.Addr = 0x10_0000_0000
+
+// fetchStage is the IFU: it pops ready FTQ entries, issues demand fetch
+// messages for every line (creating the fetch episodes the FEC machinery
+// tracks), and delivers decoded uops into the fetch→decode latch. The
+// stage iterates FetchWidth times per cycle.
+type fetchStage struct {
+	co *Core
+}
+
+// Name implements pipeline.Stage.
+func (s *fetchStage) Name() string { return "fetch" }
+
+// Tick implements pipeline.Stage.
+func (s *fetchStage) Tick(now int64) {
+	width := s.co.cfg.FetchWidth
+	if width <= 0 {
+		width = 1
+	}
+	for i := 0; i < width; i++ {
+		s.fetchOne(now)
+	}
+}
+
+func (s *fetchStage) fetchOne(now int64) {
+	co := s.co
+	// Start a new entry when idle.
+	if co.ifuEntry == nil {
+		e := co.ftq.Pop()
+		if e == nil {
+			return
+		}
+		s.startFetch(e, now)
+	}
+	e := co.ifuEntry
+	if now < e.ReadyAt {
+		return
+	}
+	// Respect the decode-buffer bound.
+	if co.decodeQ.Len()+len(e.Insts) > co.cfg.DecodeQDepth {
+		return
+	}
+	s.deliver(e, now)
+	co.ifuEntry = nil
+}
+
+// startFetch issues demand-fetch messages for every line of the entry and
+// creates the fetch episodes the FEC machinery tracks.
+func (s *fetchStage) startFetch(e *frontend.FTQEntry, now int64) {
+	co := s.co
+	ready := now
+	e.Episodes = make([]*frontend.LineEpisode, len(e.Lines))
+	for i, line := range e.Lines {
+		ep := &frontend.LineEpisode{
+			Line:             line,
+			WrongPath:        e.WrongPath,
+			FetchCycle:       now,
+			ResteerTrigger:   e.ShadowTrigger,
+			ResteerWasReturn: e.ShadowWasReturn,
+		}
+		if co.cfg.FECIdeal && co.isFECEver(line) {
+			// FEC-Ideal: FEC-qualified lines always arrive with L1I hit
+			// latency (§3's ceiling).
+			ep.DoneCycle = now
+		} else {
+			res := co.iport.Send(mem.Req{
+				Op:       mem.OpFetch,
+				Line:     line,
+				At:       now,
+				Priority: co.isPromoted(line),
+			})
+			// A line still in flight at demand time (partial hit) is a
+			// miss the FTQ prefetch could not fully hide — exactly the
+			// class the FEC conditions are about (§2.1).
+			ep.Missed = !res.L1Hit || res.WasInflight
+			ep.WasPrefetch = res.WasPrefetch
+			ep.ServedBy = res.ServedBy
+			if res.L1Hit && !res.WasInflight {
+				// Pipelined hit: latency folded into DecodePipeLat.
+				ep.DoneCycle = now
+			} else {
+				ep.DoneCycle = res.Done
+			}
+		}
+		e.Episodes[i] = ep
+		if ep.DoneCycle > ready {
+			ready = ep.DoneCycle
+		}
+	}
+	e.ReadyAt = ready
+	co.ifuEntry = e
+}
+
+// deliver converts the fetched entry's instructions into uops and pushes
+// them into the fetch→decode latch.
+func (s *fetchStage) deliver(e *frontend.FTQEntry, now int64) {
+	co := s.co
+	avail := now + int64(co.cfg.DecodePipeLat)
+	epFor := func(pc isa.Addr) *frontend.LineEpisode {
+		ln := pc.Line()
+		for _, ep := range e.Episodes {
+			if ep.Line == ln {
+				return ep
+			}
+		}
+		return e.Episodes[0]
+	}
+	for i := range e.Insts {
+		in := e.Insts[i]
+		co.seq++
+		u := &frontend.Uop{
+			Inst:        in,
+			Seq:         co.seq,
+			WrongPath:   e.WrongPath,
+			Ep:          epFor(in.PC),
+			AvailableAt: avail,
+		}
+		if in.Kind == isa.NotBranch && co.dataRng.Bool(co.cfg.MemOpFrac) {
+			u.IsMemOp = true
+			u.DataLine = co.genDataLine()
+		}
+		if e.Mispredict && i == len(e.Insts)-1 {
+			u.Mispredict = true
+			u.ResolveAtDecode = e.ResolveAtDecode
+			u.Cause = e.Cause
+			u.CorrectTarget = e.CorrectTarget
+			// The PDIP trigger key is the block (line) address of the
+			// trigger *instruction* (SS5.1) - stable across occurrences,
+			// unlike FTQ-entry boundaries, which depend on which of the
+			// preceding branches happened to be taken.
+			u.TriggerBlock = in.PC.Line()
+		}
+		co.decodeQ.Push(u)
+	}
+}
+
+// genDataLine draws from the workload's synthetic data-address stream.
+func (co *Core) genDataLine() isa.Addr {
+	hot := co.cfg.DataHotLines
+	cold := co.cfg.DataColdLines
+	if hot <= 0 {
+		hot = 1
+	}
+	if cold <= 0 {
+		cold = 1
+	}
+	var idx int
+	if co.dataRng.Bool(co.cfg.DataHotFrac) {
+		idx = co.dataRng.Intn(hot)
+	} else {
+		idx = hot + co.dataRng.Intn(cold)
+	}
+	return dataBase + isa.Addr(idx*isa.LineSize)
+}

@@ -1,0 +1,41 @@
+package core
+
+// prefetchDrainStage moves retire-time prefetch requests (next-line,
+// RDIP, FNL+MMA style prefetchers) into the PQ, then drains the PQ into
+// the instruction port as OpPrefetch messages — the last stage of the
+// cycle, so prefetches issued this cycle see the post-fetch MSHR state,
+// matching the paper's demand-first discipline.
+type prefetchDrainStage struct {
+	co *Core
+}
+
+// Name implements pipeline.Stage.
+func (s *prefetchDrainStage) Name() string { return "prefetch-drain" }
+
+// Tick implements pipeline.Stage.
+func (s *prefetchDrainStage) Tick(now int64) {
+	co := s.co
+	s.drainRetireEmitter(now)
+	co.pq.Drain(co.iport, now, co.priorityOf)
+}
+
+// drainRetireEmitter collects pending retire-time requests from the
+// prefetcher, applying the same FTQ duplicate suppression as the
+// FTQ-insert path.
+func (s *prefetchDrainStage) drainRetireEmitter(now int64) {
+	co := s.co
+	if co.pfEmitter == nil {
+		return
+	}
+	co.reqBuf = co.pfEmitter.TakePending(co.reqBuf[:0])
+	for _, r := range co.reqBuf {
+		if co.ftq.Contains(r.Line) {
+			co.ct.prefetch.pfDroppedFTQ.Inc()
+			continue
+		}
+		if co.pfSet != nil {
+			co.pfSet[r.Line] = now
+		}
+		co.pq.Enqueue(r)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "pdip/internal/frontend"
+
+// resteerStage applies the single pending front-end redirect once its
+// resolution cycle arrives: classify it, flush speculative front-end
+// state, squash wrong-path work, and open the resteer shadow window the
+// FEC trigger association relies on (§4.2). It owns the
+// frontend.resteer.* counters.
+type resteerStage struct {
+	co *Core
+}
+
+// Name implements pipeline.Stage.
+func (s *resteerStage) Name() string { return "resteer" }
+
+// Tick implements pipeline.Stage.
+func (s *resteerStage) Tick(now int64) {
+	co := s.co
+	ev := co.pendingResteer
+	if ev == nil || now < ev.at {
+		return
+	}
+	co.pendingResteer = nil
+
+	ct := &co.ct.resteer
+	switch ev.cause {
+	case frontend.ResteerBTBMiss:
+		ct.btbMiss.Inc()
+	case frontend.ResteerReturn:
+		ct.ret.Inc()
+	default:
+		ct.mispredict.Inc()
+	}
+
+	// Flush speculative front-end state. The PQ is intentionally not
+	// flushed: its entries are prefetch hints, not control flow.
+	co.ftq.Flush()
+	if co.ifuEntry != nil && co.ifuEntry.WrongPath {
+		co.ifuEntry = nil
+	}
+	// Drop wrong-path uops from the fetch→decode latch.
+	co.decodeQ.Filter(func(u *frontend.Uop) bool { return !u.WrongPath })
+	co.rob.SquashWrongPath()
+
+	co.iag.Resteer()
+	co.iagResumeAt = now + int64(co.cfg.ResteerPenalty)
+
+	co.shadowTrigger = ev.trigger
+	co.shadowWasReturn = ev.cause == frontend.ResteerReturn
+	co.shadowLeft = co.cfg.ResteerShadowBlocks
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"pdip/internal/frontend"
+	"pdip/internal/isa"
+	"pdip/internal/metrics"
+	"pdip/internal/prefetch"
+)
+
+// retireStage drains completed uops from the ROB in order, up to the
+// retire width, and runs the retire-time machinery: FEC evaluation of
+// line episodes (fec.go), EMISSARY promotion, prefetcher notification,
+// and call/return tracking. It owns the core.* retire counters.
+type retireStage struct {
+	co *Core
+}
+
+// Name implements pipeline.Stage.
+func (s *retireStage) Name() string { return "retire" }
+
+// Tick implements pipeline.Stage.
+func (s *retireStage) Tick(now int64) {
+	co := s.co
+	co.retireBuf = co.rob.Retire(now, co.cfg.RetireWidth, co.retireBuf[:0])
+	for _, u := range co.retireBuf {
+		s.retireUop(u)
+	}
+}
+
+func (s *retireStage) retireUop(u *frontend.Uop) {
+	co := s.co
+	ct := &co.ct.retire
+	co.retired++
+	ct.instructions.Inc()
+	if co.sampleEvery > 0 {
+		if n := ct.instructions.Load(); n%co.sampleEvery == 0 {
+			co.samples = append(co.samples, metrics.Sample{Instructions: n, Metrics: co.reg.Snapshot()})
+		}
+	}
+
+	if ep := u.Ep; ep != nil && !ep.Processed {
+		ep.Processed = true
+		s.processEpisode(ep)
+	}
+	if u.Inst.Kind.IsBranch() && u.Inst.Taken {
+		co.lastTakenBlock = u.Inst.PC.Line()
+	}
+	if co.pfCallsRet != nil {
+		if u.Inst.Kind.IsCall() {
+			co.pfCallsRet.OnCallReturn(true, u.Inst.PC, u.Inst.FallThrough())
+		} else if u.Inst.Kind == isa.Return {
+			co.pfCallsRet.OnCallReturn(false, u.Inst.PC, 0)
+		}
+	}
+}
+
+// processEpisode evaluates the FEC conditions for a retired line episode
+// and feeds EMISSARY promotion and the prefetcher (§2.1, §4.1, §4.2).
+func (s *retireStage) processEpisode(ep *frontend.LineEpisode) {
+	co := s.co
+	ct := &co.ct.retire
+	ct.linesRetired.Inc()
+	fec := ep.Missed && ep.Starve > 0
+	highCost := fec && ep.Starve > co.cfg.HighCostThreshold
+
+	if ep.WasPrefetch && ep.ResteerTrigger != 0 && !fec {
+		ct.shadowCovered.Inc()
+	}
+	if fec {
+		co.recordFECDiagnostics(ep)
+		ct.fecLines.Inc()
+		if ep.WasPrefetch {
+			ct.fecCoveredLate.Inc()
+		}
+		if _, seen := co.fecEver[ep.Line]; seen {
+			ct.fecRepeatLines.Inc()
+		}
+		ct.fecStallCycles.Add(uint64(ep.Starve))
+		if highCost {
+			ct.highCostFECLines.Inc()
+			if ep.BackendEmpty {
+				ct.highCostBackend.Inc()
+			}
+		}
+		co.fecEver[ep.Line] = struct{}{}
+		if co.fecSet != nil {
+			co.fecSet[ep.Line] = struct{}{}
+		}
+		if (co.cfg.Emissary || co.cfg.FECIdeal) && co.promoRng.Bool(co.cfg.EmissaryPromoteProb) {
+			co.promoted[ep.Line] = struct{}{}
+			co.hier.PromoteInstLine(ep.Line)
+		}
+	} else if ep.Starve > 0 {
+		ct.nonFECStall.Add(uint64(ep.Starve))
+	}
+
+	co.pf.OnLineRetired(prefetch.RetireEvent{
+		Line:             ep.Line,
+		Missed:           ep.Missed,
+		ServedBy:         ep.ServedBy,
+		FetchCycle:       ep.FetchCycle,
+		FetchLatency:     ep.DoneCycle - ep.FetchCycle,
+		StarveCycles:     ep.Starve,
+		BackendEmpty:     ep.BackendEmpty,
+		FEC:              fec,
+		HighCost:         highCost,
+		ResteerTrigger:   ep.ResteerTrigger,
+		ResteerWasReturn: ep.ResteerWasReturn,
+		LastTakenBlock:   co.lastTakenBlock,
+	})
+}

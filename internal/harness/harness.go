@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -147,6 +148,9 @@ func (r *Runner) Run(spec RunSpec) (*RunResult, error) {
 }
 
 // RunAll executes every spec concurrently and returns results in order.
+// Failures do not short-circuit: every spec runs, and all failures come
+// back as one errors.Join-ed error with each cause labelled by its spec
+// key — a broken grid reports every broken cell, not just the first.
 func (r *Runner) RunAll(specs []RunSpec) ([]*RunResult, error) {
 	results := make([]*RunResult, len(specs))
 	errs := make([]error, len(specs))
@@ -155,14 +159,16 @@ func (r *Runner) RunAll(specs []RunSpec) ([]*RunResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.Run(specs[i])
+			var err error
+			results[i], err = r.Run(specs[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", specs[i].Key(), err)
+			}
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

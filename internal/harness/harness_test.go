@@ -59,6 +59,33 @@ func TestRunnerRunAll(t *testing.T) {
 	}
 }
 
+func TestRunAllAggregatesFailures(t *testing.T) {
+	r := NewRunner(4)
+	specs := []RunSpec{
+		{Benchmark: "doom", Policy: "baseline"},
+		quickSpec,
+		{Benchmark: "kafka", Policy: "quake"},
+	}
+	out, err := r.RunAll(specs)
+	if err == nil {
+		t.Fatal("RunAll swallowed failing specs")
+	}
+	if out != nil {
+		t.Fatal("partial results returned alongside an error")
+	}
+	// Both failures survive the join, each labelled with its spec key;
+	// the healthy middle spec still ran and is memoised.
+	msg := err.Error()
+	for _, want := range []string{"doom/baseline", "kafka/quake"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("aggregate error missing %q:\n%s", want, msg)
+		}
+	}
+	if _, ok := r.cache[quickSpec]; !ok {
+		t.Fatal("healthy spec not executed when siblings fail")
+	}
+}
+
 func TestBTBOverride(t *testing.T) {
 	small := quickSpec
 	small.BTBEntries = 1024

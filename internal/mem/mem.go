@@ -1,8 +1,11 @@
-// Package mem wires the cache levels of Table 1 into a hierarchy and
-// provides the three access paths the core uses: demand instruction fetch,
-// instruction prefetch, and data access. Latencies accumulate down the
-// hierarchy (L1 2, L2 10, L3 20, then DRAM), fills are inclusive, and MSHR
-// exhaustion delays demands but drops prefetches, as in the paper's §5.
+// Package mem wires the cache levels of Table 1 into a hierarchy of
+// request/response ports and provides the three access paths the core
+// uses: demand instruction fetch, instruction prefetch, and data access.
+// Latencies accumulate down the hierarchy (L1 2, L2 10, L3 20, then
+// DRAM), fills are inclusive, and MSHR exhaustion delays demands but
+// drops prefetches, as in the paper's §5. See port.go for the message
+// model; the named methods on Hierarchy are convenience wrappers that
+// build the corresponding Req.
 package mem
 
 import (
@@ -55,13 +58,24 @@ func DefaultConfig() Config {
 	}
 }
 
-// Hierarchy is the assembled memory system.
+// Hierarchy is the assembled memory system: four cache levels joined by
+// ports. The instruction and data front ports share the L2 port, so a
+// fill started by either side is visible to both below L1 — exactly the
+// inclusive shared-L2 behaviour the paper models.
 type Hierarchy struct {
 	L1I, L1D, L2, L3 *cache.Cache
 	DRAMLatency      int
+
+	inst *l1Port // L1I front port (fetch/prefetch/prime)
+	data *l1Port // L1D front port (demand data)
 }
 
-// New builds a hierarchy from cfg.
+// New builds a hierarchy from cfg and wires its port chain:
+// L1I ─┐
+//
+//	├─ L2 ── L3 ── DRAM
+//
+// L1D ─┘
 func New(cfg Config) (*Hierarchy, error) {
 	l1i, err := cache.New(cfg.L1I)
 	if err != nil {
@@ -83,7 +97,15 @@ func New(cfg Config) (*Hierarchy, error) {
 	if dram <= 0 {
 		dram = 150
 	}
-	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, L3: l3, DRAMLatency: dram}, nil
+	h := &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, L3: l3, DRAMLatency: dram}
+	// The L3 gates its MSHR before issuing to DRAM (a saturated miss file
+	// delays the DRAM command); the L2's fill instead completes no earlier
+	// than its own MSHR frees.
+	l3p := &levelPort{c: l3, down: &dramPort{latency: dram}, level: LevelL3, gateMSHR: true}
+	l2p := &levelPort{c: l2, down: l3p, level: LevelL2}
+	h.inst = &l1Port{c: l1i, down: l2p, class: cache.ClassInst}
+	h.data = &l1Port{c: l1d, down: l2p, class: cache.ClassData}
+	return h, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -95,7 +117,15 @@ func MustNew(cfg Config) *Hierarchy {
 	return h
 }
 
-// AccessResult describes one hierarchy access.
+// InstPort returns the instruction-side front port (demand fetch, FDIP
+// prime, and PQ prefetch messages).
+func (h *Hierarchy) InstPort() Port { return h.inst }
+
+// DataPort returns the data-side front port (demand loads/stores).
+func (h *Hierarchy) DataPort() Port { return h.data }
+
+// AccessResult describes one hierarchy access — the reply message of the
+// port model.
 type AccessResult struct {
 	// Done is the cycle the data is available to the requester.
 	Done int64
@@ -111,58 +141,16 @@ type AccessResult struct {
 	// ServedBy is the level that supplied the data on an L1 miss (LevelL1
 	// on hits).
 	ServedBy Level
-	// Dropped is true when a prefetch was discarded (already present, or
-	// insufficient MSHR headroom).
+	// Dropped is true when a prefetch was discarded; Reason says why.
 	Dropped bool
-}
-
-// fillLatency walks L2→L3→DRAM for a line missing in L1, updating lower
-// levels (demand fills), and returns the absolute completion cycle and the
-// serving level. class attributes L2/L3 miss stats to inst or data.
-func (h *Hierarchy) fillLatency(line isa.Addr, now int64, class cache.Class) (int64, Level) {
-	t := now
-	if r := h.L2.Access(line, t, class); r.Hit {
-		return r.ReadyAt, LevelL2
-	}
-	t += int64(h.L2.Config().HitLatency) // time to determine the L2 miss
-	served := LevelL3
-	var ready int64
-	if r := h.L3.Access(line, t, class); r.Hit {
-		ready = r.ReadyAt
-	} else {
-		t += int64(h.L3.Config().HitLatency)
-		served = LevelMem
-		// DRAM access, delayed if the L3 MSHR file is saturated.
-		start := h.L3.EarliestMSHRFree(t)
-		ready = start + int64(h.DRAMLatency)
-		h.L3.Fill(line, t, ready, cache.FillOpts{})
-	}
-	// Fill L2 inclusively; respect its MSHR file.
-	start := h.L2.EarliestMSHRFree(t)
-	if start > ready {
-		ready = start
-	}
-	h.L2.Fill(line, t, ready, cache.FillOpts{})
-	return ready, served
+	// Reason classifies the drop (DropNone when not dropped).
+	Reason DropReason
 }
 
 // FetchInst performs a demand instruction fetch of line at cycle now.
 // priority propagates the EMISSARY P-bit to fills of promoted lines.
 func (h *Hierarchy) FetchInst(line isa.Addr, now int64, priority bool) AccessResult {
-	if r := h.L1I.Access(line, now, cache.ClassInst); r.Hit {
-		return AccessResult{
-			Done:        r.ReadyAt,
-			L1Hit:       true,
-			WasInflight: r.WasInflight,
-			WasPrefetch: r.WasPrefetch,
-			ServedBy:    LevelL1,
-		}
-	}
-	// L1I miss: a demand fetch waits for an MSHR if none is free.
-	start := h.L1I.EarliestMSHRFree(now)
-	ready, served := h.fillLatency(line, start, cache.ClassInst)
-	h.L1I.Fill(line, now, ready, cache.FillOpts{Priority: priority})
-	return AccessResult{Done: ready, ServedBy: served}
+	return h.inst.Send(Req{Op: OpFetch, Line: line, At: now, Priority: priority})
 }
 
 // PrefetchInst issues a prefetch of line into the L1I at cycle now,
@@ -172,19 +160,14 @@ func (h *Hierarchy) FetchInst(line isa.Addr, now int64, priority bool) AccessRes
 // EMISSARY P-bit. zeroCost installs the line instantly (the paper's
 // zero-cost timeliness study).
 func (h *Hierarchy) PrefetchInst(line isa.Addr, now int64, reserveMSHRs int, priority, zeroCost bool) AccessResult {
-	if h.L1I.Contains(line) {
-		return AccessResult{Dropped: true}
-	}
-	if zeroCost {
-		h.L1I.Fill(line, now, now, cache.FillOpts{Prefetch: true, Priority: priority})
-		return AccessResult{Done: now, ServedBy: LevelL1}
-	}
-	if h.L1I.MSHRFree(now) <= reserveMSHRs {
-		return AccessResult{Dropped: true}
-	}
-	ready, served := h.fillLatency(line, now, cache.ClassInst)
-	h.L1I.Fill(line, now, ready, cache.FillOpts{Prefetch: true, Priority: priority})
-	return AccessResult{Done: ready, ServedBy: served}
+	return h.inst.Send(Req{
+		Op:       OpPrefetch,
+		Line:     line,
+		At:       now,
+		Reserve:  reserveMSHRs,
+		Priority: priority,
+		ZeroCost: zeroCost,
+	})
 }
 
 // PrimeInst is the FDIP fill path: a new FTQ entry primes the L1I for its
@@ -193,26 +176,12 @@ func (h *Hierarchy) PrefetchInst(line isa.Addr, now int64, reserveMSHRs int, pri
 // (Table 4) scoped to the PQ prefetcher under study — FDIP is part of the
 // baseline, not the prefetcher being measured.
 func (h *Hierarchy) PrimeInst(line isa.Addr, now int64, reserveMSHRs int, priority bool) AccessResult {
-	if h.L1I.Contains(line) {
-		return AccessResult{Dropped: true}
-	}
-	if h.L1I.MSHRFree(now) <= reserveMSHRs {
-		return AccessResult{Dropped: true}
-	}
-	ready, served := h.fillLatency(line, now, cache.ClassInst)
-	h.L1I.Fill(line, now, ready, cache.FillOpts{Priority: priority})
-	return AccessResult{Done: ready, ServedBy: served}
+	return h.inst.Send(Req{Op: OpPrime, Line: line, At: now, Reserve: reserveMSHRs, Priority: priority})
 }
 
 // AccessData performs a demand data access (load/store treated alike).
 func (h *Hierarchy) AccessData(line isa.Addr, now int64) AccessResult {
-	if r := h.L1D.Access(line, now, cache.ClassData); r.Hit {
-		return AccessResult{Done: r.ReadyAt, L1Hit: true, WasInflight: r.WasInflight, ServedBy: LevelL1}
-	}
-	start := h.L1D.EarliestMSHRFree(now)
-	ready, served := h.fillLatency(line, start, cache.ClassData)
-	h.L1D.Fill(line, now, ready, cache.FillOpts{})
-	return AccessResult{Done: ready, ServedBy: served}
+	return h.data.Send(Req{Op: OpData, Line: line, At: now})
 }
 
 // PromoteInstLine sets the EMISSARY P-bit on line wherever it is resident

@@ -1,0 +1,68 @@
+package pipeline
+
+// Latch is a typed FIFO buffer between two pipeline stages: the producer
+// pushes at the tail, the consumer peeks and pops at the head, and a
+// flush-style Filter drops entries wholesale (wrong-path squash). It is a
+// slice with a head cursor rather than a ring so batch production (a
+// fetch group) amortises to one append each, and storage is recycled once
+// the consumer fully drains.
+//
+// A Latch imposes no capacity of its own — pipeline structures bound
+// occupancy with their own rules (e.g. decode checks Len before accepting
+// a fetch group), so the bound stays where the semantics live.
+type Latch[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len returns the number of buffered entries.
+func (l *Latch[T]) Len() int { return len(l.buf) - l.head }
+
+// Push appends v at the tail.
+func (l *Latch[T]) Push(v T) {
+	l.buf = append(l.buf, v)
+}
+
+// Peek returns the head entry without consuming it.
+func (l *Latch[T]) Peek() (T, bool) {
+	if l.head >= len(l.buf) {
+		var zero T
+		return zero, false
+	}
+	return l.buf[l.head], true
+}
+
+// Pop consumes and returns the head entry. When the latch drains empty its
+// storage is reset so the backing array is reused by later pushes.
+func (l *Latch[T]) Pop() (T, bool) {
+	if l.head >= len(l.buf) {
+		var zero T
+		return zero, false
+	}
+	v := l.buf[l.head]
+	l.head++
+	if l.head == len(l.buf) {
+		l.buf = l.buf[:0]
+		l.head = 0
+	}
+	return v, true
+}
+
+// Filter keeps only entries satisfying keep, preserving order and
+// compacting storage (the wrong-path squash on a front-end resteer).
+func (l *Latch[T]) Filter(keep func(T) bool) {
+	kept := l.buf[:0]
+	for i := l.head; i < len(l.buf); i++ {
+		if keep(l.buf[i]) {
+			kept = append(kept, l.buf[i])
+		}
+	}
+	l.buf = kept
+	l.head = 0
+}
+
+// Reset discards every entry.
+func (l *Latch[T]) Reset() {
+	l.buf = l.buf[:0]
+	l.head = 0
+}

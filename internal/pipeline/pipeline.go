@@ -1,0 +1,42 @@
+// Package pipeline provides the structural glue of the simulated core: a
+// Stage interface for per-cycle pipeline stages and a typed Latch that
+// buffers work between adjacent stages. The package is deliberately tiny —
+// it owns no simulation semantics. Stages encapsulate one slice of the
+// per-cycle work (retire, decode, fetch, ...) and are ticked in program
+// order by a Pipeline; a Latch is the only sanctioned way for one stage to
+// hand work to the next, which keeps every stage testable in isolation and
+// makes the cycle loop's evaluation order explicit and auditable.
+package pipeline
+
+// Stage is one pipeline stage. Tick advances the stage by one cycle; the
+// Pipeline calls it exactly once per simulated cycle, in construction
+// order. A stage that models a multi-issue structure (e.g. a 2-wide fetch
+// unit) iterates internally rather than being ticked twice.
+type Stage interface {
+	// Name identifies the stage in diagnostics and metrics.
+	Name() string
+	// Tick advances the stage to cycle now.
+	Tick(now int64)
+}
+
+// Pipeline is an ordered list of stages ticked once per cycle. Order is
+// the contract: it is fixed at construction and defines the intra-cycle
+// evaluation sequence (older work drains before younger work enters).
+type Pipeline struct {
+	stages []Stage
+}
+
+// New builds a pipeline that ticks stages in the given order.
+func New(stages ...Stage) *Pipeline {
+	return &Pipeline{stages: stages}
+}
+
+// Tick advances every stage to cycle now, in order.
+func (p *Pipeline) Tick(now int64) {
+	for _, s := range p.stages {
+		s.Tick(now)
+	}
+}
+
+// Stages returns the ordered stage list (diagnostics and tests).
+func (p *Pipeline) Stages() []Stage { return p.stages }

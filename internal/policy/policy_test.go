@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pdip/internal/core"
+	"pdip/internal/workload"
 )
 
 func TestRegistryNamesUnique(t *testing.T) {
@@ -46,6 +47,43 @@ func TestEveryPolicyYieldsValidConfig(t *testing.T) {
 		if err := c.Validate(); err != nil {
 			t.Fatalf("policy %q produces invalid config: %v", p.Name, err)
 		}
+	}
+}
+
+// TestEveryPolicyRunsOnCore is the registry's end-to-end gate: each
+// policy must not only validate but actually build a core and simulate.
+// A policy whose knobs only explode at construction or mid-run (nil
+// prefetcher hooks, zero-width structures, bad cache geometry) is caught
+// here rather than deep inside an experiment grid.
+func TestEveryPolicyRunsOnCore(t *testing.T) {
+	prof, err := workload.ByName("kafka")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := prof.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			c := core.DefaultConfig()
+			c.Seed = prof.CFG.Seed ^ 0x5eed
+			c.MemOpFrac = prof.MemOpFrac
+			p.Apply(&c)
+			co, err := core.New(prog, c)
+			if err != nil {
+				t.Fatalf("policy %q fails core construction: %v", p.Name, err)
+			}
+			if err := co.Run(1000); err != nil {
+				t.Fatalf("policy %q fails simulation: %v", p.Name, err)
+			}
+			r := co.Result()
+			if r.Core.Instructions < 1000 || r.Core.Cycles == 0 {
+				t.Fatalf("policy %q retired %d instructions in %d cycles",
+					p.Name, r.Core.Instructions, r.Core.Cycles)
+			}
+		})
 	}
 }
 

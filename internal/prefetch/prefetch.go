@@ -159,18 +159,26 @@ func (q *Queue) Enqueue(reqs ...Request) {
 	}
 }
 
-// Drain issues up to IssuePerCycle prefetches into h at cycle now. priority
-// marks fills with the EMISSARY P-bit when the policy promotes prefetched
-// FEC lines (PDIP+EMISSARY synergy).
-func (q *Queue) Drain(h *mem.Hierarchy, now int64, priorityOf func(isa.Addr) bool) {
+// Drain issues up to IssuePerCycle prefetches into the instruction-side
+// port at cycle now, as OpPrefetch messages. priority marks fills with the
+// EMISSARY P-bit when the policy promotes prefetched FEC lines
+// (PDIP+EMISSARY synergy). Drops are classified from the port's reply.
+func (q *Queue) Drain(p mem.Port, now int64, priorityOf func(isa.Addr) bool) {
 	for n := 0; n < q.IssuePerCycle && q.count > 0; n++ {
 		req := q.entries[q.head]
 		q.head = (q.head + 1) % len(q.entries)
 		q.count--
 		pri := priorityOf != nil && priorityOf(req.Line)
-		res := h.PrefetchInst(req.Line, now, q.ReserveMSHRs, pri, q.ZeroCost)
+		res := p.Send(mem.Req{
+			Op:       mem.OpPrefetch,
+			Line:     req.Line,
+			At:       now,
+			Reserve:  q.ReserveMSHRs,
+			Priority: pri,
+			ZeroCost: q.ZeroCost,
+		})
 		if res.Dropped {
-			if h.L1I.Contains(req.Line) {
+			if res.Reason == mem.DropPresent {
 				q.Stats.DroppedPresent++
 			} else {
 				q.Stats.DroppedMSHR++

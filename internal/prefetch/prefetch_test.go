@@ -25,11 +25,11 @@ func TestQueueDrainIssues(t *testing.T) {
 	q.Enqueue(Request{Line: 0x1000, Trigger: TriggerMispredict},
 		Request{Line: 0x2000, Trigger: TriggerLastTaken},
 		Request{Line: 0x3000, Trigger: TriggerMispredict})
-	q.Drain(h, 10, nil)
+	q.Drain(h.InstPort(), 10, nil)
 	if q.Stats.Issued != 2 || q.Len() != 1 {
 		t.Fatalf("issued %d, remaining %d", q.Stats.Issued, q.Len())
 	}
-	q.Drain(h, 11, nil)
+	q.Drain(h.InstPort(), 11, nil)
 	if q.Stats.Issued != 3 {
 		t.Fatalf("issued %d after second drain", q.Stats.Issued)
 	}
@@ -46,7 +46,7 @@ func TestQueueDropsPresent(t *testing.T) {
 	h.FetchInst(0x1000, 0, false)
 	q := NewQueue(8)
 	q.Enqueue(Request{Line: 0x1000})
-	q.Drain(h, 500, nil)
+	q.Drain(h.InstPort(), 500, nil)
 	if q.Stats.Issued != 0 || q.Stats.DroppedPresent != 1 {
 		t.Fatalf("stats %+v", q.Stats)
 	}
@@ -60,7 +60,7 @@ func TestQueueRespectsMSHRReserve(t *testing.T) {
 	q.ReserveMSHRs = 2
 	q.IssuePerCycle = 4
 	q.Enqueue(Request{Line: 0x1000}, Request{Line: 0x2000})
-	q.Drain(h, 0, nil)
+	q.Drain(h.InstPort(), 0, nil)
 	if q.Stats.Issued != 1 || q.Stats.DroppedMSHR != 1 {
 		t.Fatalf("stats %+v", q.Stats)
 	}
@@ -70,7 +70,7 @@ func TestQueuePriorityCallback(t *testing.T) {
 	h := mem.MustNew(mem.DefaultConfig())
 	q := NewQueue(4)
 	q.Enqueue(Request{Line: 0x1000})
-	q.Drain(h, 0, func(l isa.Addr) bool { return true })
+	q.Drain(h.InstPort(), 0, func(l isa.Addr) bool { return true })
 	if h.L1I.PriorityLines() != 1 {
 		t.Fatal("priority callback not applied to fill")
 	}
@@ -81,7 +81,7 @@ func TestQueueZeroCost(t *testing.T) {
 	q := NewQueue(4)
 	q.ZeroCost = true
 	q.Enqueue(Request{Line: 0x1000})
-	q.Drain(h, 7, nil)
+	q.Drain(h.InstPort(), 7, nil)
 	res := h.FetchInst(0x1000, 8, false)
 	if !res.L1Hit || res.WasInflight {
 		t.Fatalf("zero-cost fill not instant: %+v", res)
