@@ -3,15 +3,26 @@
 
 GO ?= go
 
-.PHONY: all build vet test race determinism golden check bench clean
+.PHONY: all build fmt-check vet test race determinism golden check bench clean
+.PHONY: lint check-invariant fuzz
 
 all: build
 
 build:
 	$(GO) build ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (cmd/simlint): determinism, counter
+# ownership, port discipline, and config-geometry contracts, enforced at
+# the offending line. Stdlib-only; see internal/lint.
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 test:
 	$(GO) test ./...
@@ -35,7 +46,21 @@ golden:
 golden-update:
 	$(GO) test ./internal/harness -run 'TestGoldenMetrics' -update
 
-check: vet build test race determinism golden
+# Full suite with the runtime micro-assertions armed (internal/invariant,
+# siminvariant build tag): FTQ/PQ bounds, MSHR drain, LRU stack validity,
+# the prefetch demand reserve, and per-stage ordering checks.
+check-invariant:
+	$(GO) test -tags siminvariant ./...
+
+# Short fuzzing smoke over the three property-based targets. Lengthen
+# -fuzztime for real fuzzing sessions.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/cache -run '^$$' -fuzz '^FuzzCacheSetVsShadow$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/bpu -run '^$$' -fuzz '^FuzzTAGEIndexFold$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/pdip -run '^$$' -fuzz '^FuzzPDIPTableInsertLookup$$' -fuzztime=$(FUZZTIME)
+
+check: fmt-check vet build lint test race determinism golden
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem

@@ -1,0 +1,139 @@
+// Command simlint runs the simulator's static-analysis suite: four
+// repo-specific analyzers (determinism, counterownership, portdiscipline,
+// cfgbounds) built on the standard library's go/parser, go/ast, and
+// go/types only. It exits 0 when the checked packages are clean, 1 when
+// any diagnostic fires, and 2 on load errors.
+//
+// Usage:
+//
+//	simlint              # lint the whole module (./...)
+//	simlint ./internal/core ./cmd/...
+//	simlint -list        # describe the analyzers
+//
+// Diagnostics are printed one per line as file:line:col: [analyzer]
+// message, and can be suppressed in source with
+// `//lint:ignore <analyzer> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pdip/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "usage: simlint [-list] [packages]\n\n")
+		fmt.Fprintf(out, "Packages are directories or dir/... trees inside the module; default ./...\n\n")
+		fmt.Fprintf(out, "Analyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(out, "  %-17s %s\n", a.Name(), a.Doc())
+		}
+		fmt.Fprintf(out, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-17s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	diags, err := run(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// run loads every package named by patterns and applies all analyzers.
+func run(patterns []string) ([]lint.Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*lint.Package
+	seen := map[string]bool{}
+	add := func(p *lint.Package) {
+		if !seen[p.ImportPath] {
+			seen[p.ImportPath] = true
+			pkgs = append(pkgs, p)
+		}
+	}
+	for _, pat := range patterns {
+		if dir, ok := strings.CutSuffix(pat, "/..."); ok {
+			if dir == "." || dir == "" {
+				dir = root
+			}
+			tree, err := loader.LoadTree(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range tree {
+				add(p)
+			}
+			continue
+		}
+		p, err := loader.LoadDir(pat)
+		if err != nil {
+			return nil, err
+		}
+		add(p)
+	}
+
+	// Surface type-check failures: analyzers run best-effort on partial
+	// information, but a broken package should not pass silently.
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", p.ImportPath, e)
+		}
+	}
+	return lint.Run(pkgs, lint.All()), nil
+}
+
+// findModuleRoot walks upward from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

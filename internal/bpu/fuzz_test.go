@@ -1,0 +1,74 @@
+package bpu
+
+import "testing"
+
+// foldHarness pairs a global history buffer with per-table folded index
+// hashes, maintained exactly as TAGE.PushHistory does.
+type foldHarness struct {
+	hist  history
+	folds [tageTables]foldedHist
+}
+
+func newFoldHarness() *foldHarness {
+	h := &foldHarness{}
+	for i := range h.folds {
+		h.folds[i] = newFolded(tageHistLens[i], tageEntryBits)
+	}
+	return h
+}
+
+func (h *foldHarness) push(b bool) {
+	for i := range h.folds {
+		old := h.hist.at(tageHistLens[i] - 1)
+		h.folds[i].push(b, old)
+	}
+	h.hist.push(b)
+}
+
+func pushBytes(h *foldHarness, t *testing.T, data []byte) {
+	t.Helper()
+	for _, by := range data {
+		for bit := 0; bit < 8; bit++ {
+			h.push(by&(1<<bit) != 0)
+			for i := range h.folds {
+				if c := h.folds[i].comp; c >= 1<<h.folds[i].width {
+					t.Fatalf("fold %d: comp %#x overflows its %d-bit width", i, c, h.folds[i].width)
+				}
+			}
+		}
+	}
+}
+
+// FuzzTAGEIndexFold checks the window property of the incrementally
+// folded history: the fold is a pure function of the most recent origLen
+// direction bits, so two histories with arbitrary different prefixes must
+// produce identical fold values once they share a suffix at least as long
+// as the full history window — and the fold must stay inside its
+// configured bit width at every step. A broken outPoint (stale bits never
+// cancelling) is exactly what this catches.
+func FuzzTAGEIndexFold(f *testing.F) {
+	f.Add([]byte{0xa5, 0x3c}, []byte{0x5a}, []byte{0xf0, 0x0f, 0x42})
+	f.Add([]byte{}, []byte{0xff, 0xff, 0xff}, []byte{0x01})
+	f.Fuzz(func(t *testing.T, prefixA, prefixB, suffix []byte) {
+		if len(suffix) == 0 {
+			suffix = []byte{0xa5}
+		}
+		a, b := newFoldHarness(), newFoldHarness()
+		pushBytes(a, t, prefixA)
+		pushBytes(b, t, prefixB)
+		// Replay the shared suffix until the full maxHist window holds
+		// identical bits in both harnesses.
+		pushed := 0
+		for pushed < maxHist {
+			pushBytes(a, t, suffix)
+			pushBytes(b, t, suffix)
+			pushed += 8 * len(suffix)
+		}
+		for i := range a.folds {
+			if a.folds[i].comp != b.folds[i].comp {
+				t.Fatalf("fold %d (histLen %d): %#x != %#x after identical %d-bit suffix",
+					i, tageHistLens[i], a.folds[i].comp, b.folds[i].comp, pushed)
+			}
+		}
+	})
+}

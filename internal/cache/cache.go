@@ -14,6 +14,7 @@ package cache
 import (
 	"fmt"
 
+	"pdip/internal/invariant"
 	"pdip/internal/isa"
 )
 
@@ -190,6 +191,17 @@ func (c *Cache) Access(line isa.Addr, now int64, class Class) LookupResult {
 	}
 	c.tick++
 	e.lru = c.tick
+	if invariant.Enabled {
+		// LRU stack validity: the just-touched line must be the unique
+		// MRU of its set (tick is monotonic, so a tie or inversion means
+		// a replacement path updated lru out of band).
+		set, _ := c.addr2set(line)
+		for i := range c.sets[set] {
+			if l := &c.sets[set][i]; l != e && l.valid && l.lru >= e.lru {
+				invariant.Failf("cache %s: LRU stack broken: touched line %#x is not MRU in its set", c.cfg.Name, uint64(line))
+			}
+		}
+	}
 	res := LookupResult{Hit: true, ReadyAt: now + int64(c.cfg.HitLatency)}
 	if e.readyAt > now {
 		res.ReadyAt = e.readyAt
@@ -237,6 +249,16 @@ func (c *Cache) pruneMSHR(now int64) {
 		}
 	}
 	c.inflight = keep
+	if invariant.Enabled {
+		// No-leak on drain: every MSHR entry surviving a prune must still
+		// be in flight; a stale deadline here means occupancy accounting
+		// (and hence prefetch drop decisions) has drifted.
+		for _, t := range c.inflight {
+			if t <= now {
+				invariant.Failf("cache %s: MSHR deadline %d not drained at cycle %d", c.cfg.Name, t, now)
+			}
+		}
+	}
 }
 
 // FillOpts qualifies a fill.
@@ -268,6 +290,9 @@ func (c *Cache) Fill(line isa.Addr, now, readyAt int64, opts FillOpts) (evicted 
 	}
 	set, tag := c.addr2set(line)
 	victim := c.pickVictim(c.sets[set], now)
+	if invariant.Enabled && (victim < 0 || victim >= len(c.sets[set])) {
+		invariant.Failf("cache %s: victim way %d outside [0, %d)", c.cfg.Name, victim, len(c.sets[set]))
+	}
 	e := &c.sets[set][victim]
 	if e.valid {
 		c.Stats.Evictions++
@@ -285,6 +310,9 @@ func (c *Cache) Fill(line isa.Addr, now, readyAt int64, opts FillOpts) (evicted 
 		readyAt:    readyAt,
 		priority:   opts.Priority,
 		prefetched: opts.Prefetch,
+	}
+	if invariant.Enabled && c.find(line) == nil {
+		invariant.Failf("cache %s: line %#x absent immediately after fill", c.cfg.Name, uint64(line))
 	}
 	return evicted, hadVictim
 }

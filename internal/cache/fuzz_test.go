@@ -1,0 +1,54 @@
+package cache
+
+import (
+	"testing"
+
+	"pdip/internal/isa"
+)
+
+// FuzzCacheSetVsShadow drives the cache and the executable replacement
+// specification (property_test.go's shadowCache) with the same
+// fuzzer-chosen operation sequence — accesses, completed fills with and
+// without the P-bit, promotions — and fails on the first divergence in
+// hit/miss outcome, eviction choice, or priority population. It is the
+// fuzz-shaped twin of TestReplacementProperty: the fuzzer hunts for the
+// operation orderings the seeded random walks never try.
+func FuzzCacheSetVsShadow(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 0, 1})
+	f.Add([]byte{1, 0x81, 1, 0x91, 2, 0x81, 0, 0x81, 1, 0xa1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := MustNew(Config{
+			Name: "fuzz", SizeBytes: 2 * 1024, Ways: 4,
+			HitLatency: 1, MSHRs: 8, ProtectedWays: 2,
+		})
+		s := newShadow(c)
+		now := int64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			now++
+			op := data[i] % 3
+			pri := data[i]&0x80 != 0
+			line := isa.Addr(uint64(data[i+1])) * isa.LineSize
+			switch op {
+			case 0:
+				got := c.Access(line, now, ClassInst).Hit
+				want := s.access(line)
+				if got != want {
+					t.Fatalf("op %d: access %#x: cache hit=%v, shadow hit=%v", i, uint64(line), got, want)
+				}
+			case 1:
+				gotEv, gotHad := c.Fill(line, now, now, FillOpts{Priority: pri})
+				wantEv, wantHad := s.fill(line, pri)
+				if gotHad != wantHad || gotEv != wantEv {
+					t.Fatalf("op %d: fill %#x pri=%v: cache evicted (%#x,%v), shadow evicted (%#x,%v)",
+						i, uint64(line), pri, uint64(gotEv), gotHad, uint64(wantEv), wantHad)
+				}
+			case 2:
+				c.Promote(line)
+				s.promote(line)
+			}
+			if got, want := c.PriorityLines(), s.priorityLines(); got != want {
+				t.Fatalf("op %d: priority population diverged: cache %d, shadow %d", i, got, want)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"pdip/internal/cache"
 	"pdip/internal/cfg"
 	"pdip/internal/frontend"
+	"pdip/internal/invariant"
 	"pdip/internal/isa"
 	"pdip/internal/mem"
 	"pdip/internal/metrics"
@@ -223,6 +224,9 @@ func (co *Core) Run(n uint64) error {
 func (co *Core) step() {
 	co.now++
 	co.ct.pipe.cycles.Inc()
+	if invariant.Enabled && (co.ftq.Len() < 0 || co.ftq.Len() > co.ftq.Depth()) {
+		invariant.Failf("FTQ occupancy %d outside [0, %d] at cycle %d", co.ftq.Len(), co.ftq.Depth(), co.now)
+	}
 	co.ct.pipe.ftqOcc.Observe(float64(co.ftq.Len()))
 	co.pipe.Tick(co.now)
 }

@@ -21,6 +21,8 @@ type counters struct {
 }
 
 // pipeCounters is per-cycle bookkeeping owned by the cycle loop itself.
+//
+//lint:owner core.go
 type pipeCounters struct {
 	cycles *metrics.Counter
 	// ftqOcc samples FTQ occupancy once per cycle (decoupling depth).
@@ -57,6 +59,8 @@ type decodeCounters struct {
 // prefetchCounters is shared by the two stages that enqueue prefetch
 // requests (predict and prefetch-drain): both apply the FTQ duplicate
 // suppression and account drops to the same counter.
+//
+//lint:owner stage_predict.go stage_prefetch.go
 type prefetchCounters struct {
 	pfDroppedFTQ *metrics.Counter
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pdip/internal/frontend"
+	"pdip/internal/invariant"
 	"pdip/internal/mem"
 )
 
@@ -13,6 +14,9 @@ import (
 // It owns the frontend.starve.* and core.topdown.* counters.
 type decodeStage struct {
 	co *Core
+	// lastSeq tracks uop sequence numbers to assert the fetch→decode
+	// latch delivers in program order when invariants are armed.
+	lastSeq uint64
 }
 
 // Name implements pipeline.Stage.
@@ -35,6 +39,12 @@ func (s *decodeStage) Tick(now int64) {
 			break
 		}
 		co.decodeQ.Pop()
+		if invariant.Enabled {
+			if u.Seq <= s.lastSeq {
+				invariant.Failf("decode: uop seq %d not after previously decoded seq %d", u.Seq, s.lastSeq)
+			}
+			s.lastSeq = u.Seq
+		}
 		s.allocate(u, now)
 		moved++
 	}

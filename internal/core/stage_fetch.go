@@ -2,6 +2,7 @@ package core
 
 import (
 	"pdip/internal/frontend"
+	"pdip/internal/invariant"
 	"pdip/internal/isa"
 	"pdip/internal/mem"
 )
@@ -90,6 +91,10 @@ func (s *fetchStage) startFetch(e *frontend.FTQEntry, now int64) {
 			} else {
 				ep.DoneCycle = res.Done
 			}
+		}
+		if invariant.Enabled && ep.DoneCycle < now {
+			invariant.Failf("fetch: line %#x completes at %d, before its demand issue at %d",
+				uint64(line), ep.DoneCycle, now)
 		}
 		e.Episodes[i] = ep
 		if ep.DoneCycle > ready {

@@ -1,6 +1,9 @@
 package core
 
-import "pdip/internal/mem"
+import (
+	"pdip/internal/invariant"
+	"pdip/internal/mem"
+)
 
 // predictStage runs the IAG: assemble the next predicted basic block,
 // enqueue it in the FTQ, send the FDIP prime messages for its lines, and
@@ -33,6 +36,9 @@ func (s *predictStage) predictOne(now int64) {
 		return
 	}
 	e := co.iag.NextEntry()
+	if invariant.Enabled && len(e.Lines) == 0 {
+		invariant.Failf("predict: IAG produced an FTQ entry with no lines at cycle %d", now)
+	}
 
 	if !e.WrongPath && co.shadowLeft > 0 {
 		e.ShadowTrigger = co.shadowTrigger

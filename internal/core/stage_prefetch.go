@@ -1,5 +1,7 @@
 package core
 
+import "pdip/internal/invariant"
+
 // prefetchDrainStage moves retire-time prefetch requests (next-line,
 // RDIP, FNL+MMA style prefetchers) into the PQ, then drains the PQ into
 // the instruction port as OpPrefetch messages — the last stage of the
@@ -7,6 +9,9 @@ package core
 // matching the paper's demand-first discipline.
 type prefetchDrainStage struct {
 	co *Core
+	// lastTick asserts the driver's clock is strictly monotonic across
+	// this (final) stage when invariants are armed.
+	lastTick int64
 }
 
 // Name implements pipeline.Stage.
@@ -15,6 +20,12 @@ func (s *prefetchDrainStage) Name() string { return "prefetch-drain" }
 // Tick implements pipeline.Stage.
 func (s *prefetchDrainStage) Tick(now int64) {
 	co := s.co
+	if invariant.Enabled {
+		if s.lastTick != 0 && now <= s.lastTick {
+			invariant.Failf("prefetch-drain: tick at cycle %d not after previous tick at %d", now, s.lastTick)
+		}
+		s.lastTick = now
+	}
 	s.drainRetireEmitter(now)
 	co.pq.Drain(co.iport, now, co.priorityOf)
 }

@@ -1,6 +1,9 @@
 package core
 
-import "pdip/internal/frontend"
+import (
+	"pdip/internal/frontend"
+	"pdip/internal/invariant"
+)
 
 // resteerStage applies the single pending front-end redirect once its
 // resolution cycle arrives: classify it, flush speculative front-end
@@ -36,6 +39,9 @@ func (s *resteerStage) Tick(now int64) {
 	// Flush speculative front-end state. The PQ is intentionally not
 	// flushed: its entries are prefetch hints, not control flow.
 	co.ftq.Flush()
+	if invariant.Enabled && co.ftq.Len() != 0 {
+		invariant.Failf("resteer: FTQ holds %d entries after flush", co.ftq.Len())
+	}
 	if co.ifuEntry != nil && co.ifuEntry.WrongPath {
 		co.ifuEntry = nil
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pdip/internal/frontend"
+	"pdip/internal/invariant"
 	"pdip/internal/isa"
 	"pdip/internal/metrics"
 	"pdip/internal/prefetch"
@@ -59,6 +60,10 @@ func (s *retireStage) retireUop(u *frontend.Uop) {
 func (s *retireStage) processEpisode(ep *frontend.LineEpisode) {
 	co := s.co
 	ct := &co.ct.retire
+	if invariant.Enabled && ep.DoneCycle < ep.FetchCycle {
+		invariant.Failf("retire: episode for line %#x completes at %d, before its fetch at %d",
+			uint64(ep.Line), ep.DoneCycle, ep.FetchCycle)
+	}
 	ct.linesRetired.Inc()
 	fec := ep.Missed && ep.Starve > 0
 	highCost := fec && ep.Starve > co.cfg.HighCostThreshold

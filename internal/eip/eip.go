@@ -11,6 +11,8 @@
 package eip
 
 import (
+	"sort"
+
 	"pdip/internal/isa"
 	"pdip/internal/prefetch"
 )
@@ -270,6 +272,34 @@ func (e *EIP) entangle(src, dst isa.Addr) {
 		return
 	}
 	te.dsts = append(te.dsts, dst)
+}
+
+// Entangling is one source→destinations association of the analytical
+// table, in a dump-friendly form.
+type Entangling struct {
+	// Src is the entangling source line.
+	Src isa.Addr
+	// Dsts are the destination lines, in insertion order.
+	Dsts []isa.Addr
+}
+
+// AnalyticalEntanglings returns the analytical table's content sorted by
+// source address — the deterministic dump of the unordered map, for
+// diagnostics and replay comparison. Nil for the bounded variant.
+func (e *EIP) AnalyticalEntanglings() []Entangling {
+	if e.anal == nil {
+		return nil
+	}
+	srcs := make([]isa.Addr, 0, len(e.anal))
+	for src := range e.anal {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	out := make([]Entangling, len(srcs))
+	for i, src := range srcs {
+		out[i] = Entangling{Src: src, Dsts: e.anal[src]}
+	}
+	return out
 }
 
 // ResetStats zeroes the counters while keeping table state warm (used at

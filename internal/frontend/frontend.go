@@ -7,6 +7,7 @@ package frontend
 
 import (
 	"pdip/internal/bpu"
+	"pdip/internal/invariant"
 	"pdip/internal/isa"
 	"pdip/internal/mem"
 	"pdip/internal/trace"
@@ -168,6 +169,16 @@ func (q *FTQ) Push(e *FTQEntry) {
 	}
 	q.entries[(q.head+q.count)%len(q.entries)] = e
 	q.count++
+	if invariant.Enabled {
+		if q.count < 0 || q.count > len(q.entries) {
+			invariant.Failf("FTQ occupancy %d outside [0, %d]", q.count, len(q.entries))
+		}
+		for _, l := range e.Lines {
+			if l.Line() != l {
+				invariant.Failf("FTQ entry line %#x is not line-aligned", uint64(l))
+			}
+		}
+	}
 }
 
 // Pop removes and returns the oldest entry, or nil when empty.

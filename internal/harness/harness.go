@@ -157,6 +157,7 @@ func (r *Runner) RunAll(specs []RunSpec) ([]*RunResult, error) {
 	var wg sync.WaitGroup
 	for i := range specs {
 		wg.Add(1)
+		//lint:ignore determinism the worker pool sits above the simulated clock: each core simulates in its own goroutine with no shared state, and results land in per-index slots
 		go func(i int) {
 			defer wg.Done()
 			var err error

@@ -1,0 +1,11 @@
+// Package invariant is the runtime twin of the static cmd/simlint
+// contracts: micro-assertions wired into the pipeline stages, the FTQ,
+// the prefetch queue, the caches, and the memory ports.
+//
+// The checks are gated behind the siminvariant build tag. In the default
+// build Enabled is a false constant, so every `if invariant.Enabled`
+// block is eliminated by the compiler and the simulator pays nothing.
+// `make check-invariant` (go test -tags siminvariant ./...) runs the full
+// test suite with the assertions armed; a violated invariant panics with
+// the broken condition.
+package invariant

@@ -1,0 +1,10 @@
+//go:build !siminvariant
+
+package invariant
+
+// Enabled gates the assertion blocks; false in the default build, so the
+// compiler removes the checks entirely.
+const Enabled = false
+
+// Failf is a no-op in the default build.
+func Failf(format string, args ...any) {}

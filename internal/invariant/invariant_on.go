@@ -1,0 +1,14 @@
+//go:build siminvariant
+
+package invariant
+
+import "fmt"
+
+// Enabled gates the assertion blocks; true under the siminvariant tag.
+const Enabled = true
+
+// Failf reports a violated invariant. The simulator's state is wrong by
+// definition at this point, so it panics rather than returning.
+func Failf(format string, args ...any) {
+	panic("invariant violation: " + fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,22 @@
+package invariant
+
+import "testing"
+
+// TestFailf checks both build modes: armed (siminvariant tag) Failf must
+// panic with the formatted condition; disarmed it must be a no-op.
+func TestFailf(t *testing.T) {
+	if !Enabled {
+		Failf("must be a no-op when disabled %d", 1)
+		return
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Failf did not panic with invariants enabled")
+		}
+		if s, ok := r.(string); !ok || s != "invariant violation: boom 7" {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	Failf("boom %d", 7)
+}

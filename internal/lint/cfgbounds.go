@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CfgBounds checks configuration composite literals against the same
+// geometry rules the runtime validators enforce (cache.New, pdip.New), so
+// an impossible configuration fails at lint time instead of at simulator
+// start:
+//
+//   - cache.Config: SizeBytes and Ways positive, SizeBytes/(64·Ways) a
+//     power-of-two set count, ProtectedWays ≤ Ways.
+//   - pdip.Config: MaskBits ≤ 8 (the per-target mask is a uint8),
+//     TagBits in [0, 32) (the partial tag is a uint32 and the width feeds
+//     a shift), non-negative Sets/Ways/TargetsPerEntry, InsertProb in
+//     [0, 1].
+//
+// Only fields given as compile-time constants are checked; computed values
+// remain the runtime validator's job.
+type CfgBounds struct{}
+
+// Name implements Analyzer.
+func (*CfgBounds) Name() string { return "cfgbounds" }
+
+// Doc implements Analyzer.
+func (*CfgBounds) Doc() string {
+	return "cache and PDIP geometry literals satisfy the runtime validation rules"
+}
+
+// lineSize mirrors isa.LineSize; the analyzer cannot import the simulator
+// packages it inspects without creating a lint→sim dependency.
+const lineSize = 64
+
+// Check implements Analyzer.
+func (c *CfgBounds) Check(p *Package, rep *Reporter) {
+	module := moduleOf(p.ImportPath)
+	cachePkg := module + "/internal/cache"
+	pdipPkg := module + "/internal/pdip"
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			pkg, name := typeDeclPkg(p.Info.TypeOf(lit))
+			switch {
+			case pkg == cachePkg && name == "Config":
+				c.checkCacheConfig(p, rep, lit)
+			case pkg == pdipPkg && name == "Config":
+				c.checkPDIPConfig(p, rep, lit)
+			}
+			return true
+		})
+	}
+}
+
+// fields extracts the keyed elements of a config literal.
+func fields(lit *ast.CompositeLit) map[string]ast.Expr {
+	m := map[string]ast.Expr{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			m[id.Name] = kv.Value
+		}
+	}
+	return m
+}
+
+func (c *CfgBounds) checkCacheConfig(p *Package, rep *Reporter, lit *ast.CompositeLit) {
+	f := fields(lit)
+	size, sizeOK := fieldInt(p, f, "SizeBytes")
+	ways, waysOK := fieldInt(p, f, "Ways")
+	if sizeOK && size <= 0 {
+		rep.Reportf(c.Name(), f["SizeBytes"].Pos(), "cache.Config SizeBytes %d must be positive", size)
+	}
+	if waysOK && ways <= 0 {
+		rep.Reportf(c.Name(), f["Ways"].Pos(), "cache.Config Ways %d must be positive", ways)
+	}
+	if sizeOK && waysOK && size > 0 && ways > 0 {
+		sets := size / (lineSize * ways)
+		if sets == 0 || sets&(sets-1) != 0 {
+			rep.Reportf(c.Name(), lit.Pos(),
+				"cache.Config %dB/%d-way yields %d sets; SizeBytes/(64*Ways) must be a power of two", size, ways, sets)
+		}
+	}
+	if prot, ok := fieldInt(p, f, "ProtectedWays"); ok {
+		if prot < 0 {
+			rep.Reportf(c.Name(), f["ProtectedWays"].Pos(), "cache.Config ProtectedWays %d must be non-negative", prot)
+		} else if waysOK && prot > ways {
+			rep.Reportf(c.Name(), f["ProtectedWays"].Pos(),
+				"cache.Config ProtectedWays %d exceeds Ways %d: EMISSARY cannot protect more ways than exist", prot, ways)
+		}
+	}
+}
+
+func (c *CfgBounds) checkPDIPConfig(p *Package, rep *Reporter, lit *ast.CompositeLit) {
+	f := fields(lit)
+	if mask, ok := fieldInt(p, f, "MaskBits"); ok && mask > 8 {
+		rep.Reportf(c.Name(), f["MaskBits"].Pos(),
+			"pdip.Config MaskBits %d exceeds 8: the per-target successor mask is a uint8", mask)
+	}
+	if tag, ok := fieldInt(p, f, "TagBits"); ok && (tag < 0 || tag >= 32) {
+		rep.Reportf(c.Name(), f["TagBits"].Pos(),
+			"pdip.Config TagBits %d out of range [0, 32): the partial tag is a uint32", tag)
+	}
+	for _, name := range [...]string{"Sets", "Ways", "TargetsPerEntry"} {
+		if v, ok := fieldInt(p, f, name); ok && v < 0 {
+			rep.Reportf(c.Name(), f[name].Pos(),
+				"pdip.Config %s %d must be non-negative (zero selects the paper default)", name, v)
+		}
+	}
+	if prob, ok := fieldFloat(p, f, "InsertProb"); ok && (prob < 0 || prob > 1) {
+		rep.Reportf(c.Name(), f["InsertProb"].Pos(),
+			"pdip.Config InsertProb %g out of range [0, 1]", prob)
+	}
+}
+
+// fieldInt resolves a named field's constant integer value.
+func fieldInt(p *Package, f map[string]ast.Expr, name string) (int64, bool) {
+	e, ok := f[name]
+	if !ok {
+		return 0, false
+	}
+	return constInt(p, e)
+}
+
+// fieldFloat resolves a named field's constant float value.
+func fieldFloat(p *Package, f map[string]ast.Expr, name string) (float64, bool) {
+	e, ok := f[name]
+	if !ok {
+		return 0, false
+	}
+	return constFloat(p, e)
+}

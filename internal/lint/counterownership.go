@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// CounterOwnership enforces the single-writer discipline of the per-stage
+// counter groups (internal/core/metrics.go): a counter reached through a
+// group struct named `<group>Counters` may only be incremented (Inc, Add,
+// Observe) from the file that owns the group. Ownership defaults to
+// `stage_<group>.go`; a `//lint:owner file.go [file.go ...]` directive in
+// the group type's doc comment overrides the owner set (the pipe group is
+// owned by core.go's cycle loop, the prefetch group is shared by the two
+// stages that enqueue prefetches). metrics.go — the registration and
+// snapshot site — is always allowed. Reads (Load) are unrestricted.
+type CounterOwnership struct{}
+
+// Name implements Analyzer.
+func (*CounterOwnership) Name() string { return "counterownership" }
+
+// Doc implements Analyzer.
+func (*CounterOwnership) Doc() string {
+	return "counters are incremented only from the pipeline-stage file that owns their group"
+}
+
+// incMethods are the mutating metric methods the ownership contract
+// restricts.
+var incMethods = map[string]bool{"Inc": true, "Add": true, "Observe": true}
+
+const groupSuffix = "Counters"
+
+// Check implements Analyzer.
+func (c *CounterOwnership) Check(p *Package, rep *Reporter) {
+	owners := c.ownership(p)
+	if len(owners) == 0 {
+		return
+	}
+	module := moduleOf(p.ImportPath)
+	metricsPkg := module + "/internal/metrics"
+
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, recvType, method, ok := methodCall(p, call)
+			if !ok || !incMethods[method] {
+				return true
+			}
+			// The callee must be a metric primitive (Counter/Histogram).
+			if pkg, _ := typeDeclPkg(recvType); pkg != metricsPkg {
+				return true
+			}
+			// The metric must be reached as a field of a group struct:
+			// <groupExpr>.<counterField>.Inc().
+			sel, ok := recv.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			groupPkg, groupType := typeDeclPkg(p.Info.TypeOf(sel.X))
+			if groupPkg != p.ImportPath || !strings.HasSuffix(groupType, groupSuffix) || len(groupType) == len(groupSuffix) {
+				return true
+			}
+			group := strings.TrimSuffix(groupType, groupSuffix)
+			allowed, known := owners[group]
+			if !known {
+				return true
+			}
+			f := p.FileOf(call.Pos())
+			if !allowed[f] {
+				rep.Reportf(c.Name(), call.Pos(),
+					"counter %s.%s incremented in %s, but group %q is owned by %s (see %s's ownership groups)",
+					groupType, selName(sel), f, group, ownerList(allowed), "metrics.go")
+			}
+			return true
+		})
+	}
+}
+
+// ownership builds group → allowed-files from the package's
+// `<group>Counters` type declarations.
+func (c *CounterOwnership) ownership(p *Package) map[string]map[string]bool {
+	owners := map[string]map[string]bool{}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				name := ts.Name.Name
+				if !strings.HasSuffix(name, groupSuffix) || len(name) == len(groupSuffix) {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					continue
+				}
+				group := strings.TrimSuffix(name, groupSuffix)
+				allowed := map[string]bool{"stage_" + group + ".go": true}
+				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc} {
+					if files := ownerDirective(doc); files != nil {
+						allowed = map[string]bool{}
+						for _, f := range files {
+							allowed[f] = true
+						}
+					}
+				}
+				// The registration/snapshot site is always a legal writer
+				// home (construction, statsCore, derived metrics).
+				allowed["metrics.go"] = true
+				owners[group] = allowed
+			}
+		}
+	}
+	return owners
+}
+
+// ownerDirective extracts the file list of a `//lint:owner a.go b.go`
+// doc-comment directive, or nil.
+func ownerDirective(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	for _, line := range doc.List {
+		if rest, ok := strings.CutPrefix(line.Text, "//lint:owner "); ok {
+			return strings.Fields(rest)
+		}
+	}
+	return nil
+}
+
+// ownerList renders the allowed-file set for messages, deterministically.
+func ownerList(allowed map[string]bool) string {
+	names := make([]string, 0, len(allowed))
+	for f := range allowed {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// selName returns the selected field name of a selector expression.
+func selName(sel *ast.SelectorExpr) string { return sel.Sel.Name }

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the contracts behind bit-identical deterministic
+// replay in simulation packages (module/internal/...):
+//
+//   - no wall-clock time (time.Now and friends) — simulated time is the
+//     only clock;
+//   - no math/rand — every stochastic decision draws from the explicitly
+//     seeded internal/rng streams;
+//   - no go statements — the simulation is single-threaded per core, and
+//     goroutine interleaving would break replay;
+//   - no map-iteration-order dependence: a `range` over a map may not
+//     mutate simulator state, call a mutating metrics method, write
+//     output, or build a slice it never sorts. Order-independent bodies
+//     (map→map copies, integer accumulation, keyed writes) pass, and the
+//     collect-keys-then-sort idiom passes when a sort call follows in the
+//     same function.
+type Determinism struct{}
+
+// Name implements Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (*Determinism) Doc() string {
+	return "forbid wall-clock, global RNG, goroutines, and map-iteration-order dependence in simulation packages"
+}
+
+// wallClockFuncs are the package time functions that read the host clock
+// or schedule against it.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+	"Sleep": true,
+}
+
+// mutatingMetricMethods are the internal/metrics methods that change
+// metric state; calling one inside map iteration makes the metric's
+// update order (and any sampling interleaved with it) nondeterministic.
+var mutatingMetricMethods = map[string]bool{
+	"Inc": true, "Add": true, "Observe": true, "Set": true, "Reset": true,
+}
+
+// Check implements Analyzer.
+func (d *Determinism) Check(p *Package, rep *Reporter) {
+	module := moduleOf(p.ImportPath)
+	if !isInternalPath(module, p.ImportPath) {
+		return
+	}
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			switch importPath(imp) {
+			case "math/rand", "math/rand/v2":
+				rep.Reportf(d.Name(), imp.Pos(),
+					"import of %s in simulation code: use the seeded streams of %s/internal/rng", importPath(imp), module)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GoStmt:
+				rep.Reportf(d.Name(), node.Pos(),
+					"go statement in simulation code: goroutine interleaving breaks deterministic replay")
+			case *ast.SelectorExpr:
+				if pkg, name, ok := pkgSel(p, node); ok && pkg == "time" && wallClockFuncs[name] {
+					rep.Reportf(d.Name(), node.Pos(),
+						"time.%s reads the host clock: simulation code must use simulated cycles only", name)
+				}
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(node.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						d.checkMapRange(p, rep, file, node, module)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange classifies the body of a range-over-map statement.
+func (d *Determinism) checkMapRange(p *Package, rep *Reporter, file *ast.File, rs *ast.RangeStmt, module string) {
+	metricsPkg := module + "/internal/metrics"
+	statePkgs := map[string]bool{
+		module + "/internal/mem":   true,
+		module + "/internal/cache": true,
+	}
+	// appendTargets collects outer-scope slice variables grown inside the
+	// loop; they inherit map iteration order and must be sorted afterwards.
+	appendTargets := map[types.Object]token.Pos{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			d.checkCall(p, rep, node, metricsPkg, statePkgs)
+		case *ast.AssignStmt:
+			d.checkAssign(p, rep, rs, node, appendTargets)
+		case *ast.IncDecStmt:
+			if id, ok := node.X.(*ast.Ident); ok {
+				if obj := objOf(p, id); obj != nil && !declaredWithin(obj, rs) && isFloat(obj.Type()) {
+					rep.Reportf(d.Name(), node.Pos(),
+						"floating-point update of %s in map-iteration order is not associative across orders", id.Name)
+				}
+			}
+		}
+		return true
+	})
+
+	// The collect-then-sort idiom: every appended slice must reach a
+	// sort.* / slices.Sort* call after the loop, in the same function.
+	if len(appendTargets) == 0 {
+		return
+	}
+	body := enclosingFunc(file, rs.Pos())
+	for obj, pos := range appendTargets {
+		if body == nil || !sortedAfter(p, body, rs.End(), obj) {
+			rep.Reportf(d.Name(), pos,
+				"slice %s is built in map-iteration order and never sorted afterwards: collect keys then sort (the sorted-keys idiom), or iterate a sorted key slice", obj.Name())
+		}
+	}
+}
+
+// checkCall flags calls inside a map-range body that make iteration order
+// observable: mutating metrics methods, simulator-state methods (mem,
+// cache), and output writes.
+func (d *Determinism) checkCall(p *Package, rep *Reporter, call *ast.CallExpr, metricsPkg string, statePkgs map[string]bool) {
+	if _, recvType, method, ok := methodCall(p, call); ok {
+		pkg, typeName := typeDeclPkg(recvType)
+		switch {
+		case pkg == metricsPkg && mutatingMetricMethods[method]:
+			rep.Reportf(d.Name(), call.Pos(),
+				"%s.%s called in map-iteration order: metric updates must happen in a deterministic order", typeName, method)
+		case statePkgs[pkg]:
+			rep.Reportf(d.Name(), call.Pos(),
+				"%s.%s called in map-iteration order: memory-system state would mutate in nondeterministic order", typeName, method)
+		case method == "Write" || method == "WriteString" || method == "WriteByte" || method == "WriteRune":
+			rep.Reportf(d.Name(), call.Pos(),
+				"write in map-iteration order produces nondeterministic output: iterate sorted keys instead")
+		}
+		return
+	}
+	if pkg, name, ok := pkgFuncCall(p, call); ok && pkg == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			rep.Reportf(d.Name(), call.Pos(),
+				"fmt.%s in map-iteration order produces nondeterministic output: iterate sorted keys instead", name)
+		}
+	}
+}
+
+// checkAssign classifies assignments inside a map-range body. Writes keyed
+// by the iteration variable (map/slice index writes) and loop-local
+// variables are order-independent; growth of an outer slice is recorded
+// for the sorted-afterwards check; everything else that writes outer state
+// is order-dependent and flagged.
+func (d *Determinism) checkAssign(p *Package, rep *Reporter, rs *ast.RangeStmt, as *ast.AssignStmt, appendTargets map[types.Object]token.Pos) {
+	for i, lhs := range as.Lhs {
+		switch target := lhs.(type) {
+		case *ast.IndexExpr:
+			// m[k] = v or s[i] = v: keyed writes are order-independent.
+		case *ast.Ident:
+			if target.Name == "_" {
+				continue
+			}
+			obj := objOf(p, target)
+			if obj == nil || declaredWithin(obj, rs) {
+				continue // loop-local
+			}
+			if as.Tok == token.DEFINE {
+				continue
+			}
+			if isAppendTo(p, as, i, obj) {
+				appendTargets[obj] = as.Pos()
+				continue
+			}
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN:
+				// Commutative integer accumulation is order-independent;
+				// float accumulation is not associative.
+				if isFloat(obj.Type()) {
+					rep.Reportf(d.Name(), as.Pos(),
+						"floating-point accumulation into %s in map-iteration order is not associative across orders", target.Name)
+				}
+			default:
+				rep.Reportf(d.Name(), as.Pos(),
+					"assignment to %s in map-iteration order is last-writer-wins and therefore nondeterministic", target.Name)
+			}
+		case *ast.SelectorExpr:
+			rep.Reportf(d.Name(), as.Pos(),
+				"field write %s in map-iteration order mutates shared state nondeterministically", exprString(target))
+		case *ast.StarExpr:
+			rep.Reportf(d.Name(), as.Pos(),
+				"pointer write in map-iteration order mutates shared state nondeterministically")
+		}
+	}
+}
+
+// isAppendTo reports whether as assigns lhs index i from append(lhs, ...).
+func isAppendTo(p *Package, as *ast.AssignStmt, i int, obj types.Object) bool {
+	if len(as.Rhs) != len(as.Lhs) && len(as.Rhs) != 1 {
+		return false
+	}
+	rhs := as.Rhs[0]
+	if len(as.Rhs) == len(as.Lhs) {
+		rhs = as.Rhs[i]
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := p.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && objOf(p, first) == obj
+}
+
+// sortedAfter reports whether a sort.*/slices.Sort* call mentioning obj
+// appears after pos inside body.
+func sortedAfter(p *Package, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		pkg, _, ok := pkgFuncCall(p, call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && objOf(p, id) == obj {
+					mentions = true
+				}
+				return !mentions
+			})
+			if mentions {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pkgSel resolves a selector to (package path, member name) when its base
+// is a package qualifier.
+func pkgSel(p *Package, sel *ast.SelectorExpr) (string, string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// importPath unquotes an import spec's path.
+func importPath(imp *ast.ImportSpec) string {
+	s := imp.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// moduleOf extracts the module prefix of an import path (the first
+// segment), matching this repo's single-segment module name.
+func moduleOf(importPath string) string {
+	for i := 0; i < len(importPath); i++ {
+		if importPath[i] == '/' {
+			return importPath[:i]
+		}
+	}
+	return importPath
+}
+
+// exprString renders a simple selector chain for messages.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	default:
+		return "<expr>"
+	}
+}

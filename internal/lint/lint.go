@@ -1,0 +1,233 @@
+// Package lint is a small static-analysis framework, built on the
+// standard library's go/parser, go/ast, and go/types only (no x/tools),
+// that enforces the simulator's correctness contracts at the line that
+// would break them:
+//
+//   - determinism: no wall-clock time, no global RNG, no goroutines, and
+//     no map-iteration-order dependence in simulation packages — the
+//     contracts behind bit-identical deterministic replay (DESIGN.md
+//     §Observability).
+//   - counterownership: every metrics counter is incremented only by the
+//     pipeline stage that owns its group (internal/core/metrics.go).
+//   - portdiscipline: all memory traffic flows through mem.Port or the
+//     named Hierarchy wrappers; nothing outside internal/mem and
+//     internal/cache calls cache internals directly.
+//   - cfgbounds: cache/PDIP geometry literals satisfy the same rules the
+//     runtime validators enforce, so bad configs fail at lint time.
+//
+// Diagnostics can be suppressed with a `//lint:ignore <analyzer> <reason>`
+// comment on the offending line or the line directly above it; the reason
+// is mandatory so every suppression documents why the contract does not
+// apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one repo-specific static check.
+type Analyzer interface {
+	// Name is the analyzer's identifier, used in output and in
+	// //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description of the enforced contract.
+	Doc() string
+	// Check inspects one type-checked package and reports violations.
+	Check(p *Package, r *Reporter)
+}
+
+// All returns every registered analyzer, in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		&Determinism{},
+		&CounterOwnership{},
+		&PortDiscipline{},
+		&CfgBounds{},
+	}
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Analyzer names the check that fired.
+	Analyzer string
+	// Pos locates the violation.
+	Pos token.Position
+	// Message describes the violation and the sanctioned alternative.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reporter collects diagnostics for one package, applying //lint:ignore
+// suppression.
+type Reporter struct {
+	pkg  *Package
+	diag []Diagnostic
+	// ignores maps filename -> line -> analyzer names suppressed there
+	// ("all" suppresses every analyzer).
+	ignores map[string]map[int][]string
+}
+
+// NewReporter builds a reporter over p, indexing its ignore directives.
+func NewReporter(p *Package) *Reporter {
+	r := &Reporter{pkg: p, ignores: map[string]map[int][]string{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				m := r.ignores[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					r.ignores[pos.Filename] = m
+				}
+				// The directive covers its own line (trailing comment)
+				// and the next line (directive-above-statement form).
+				m[pos.Line] = append(m[pos.Line], name)
+				m[pos.Line+1] = append(m[pos.Line+1], name)
+			}
+		}
+	}
+	return r
+}
+
+// parseIgnore recognises `//lint:ignore <analyzer> <reason>` and returns
+// the analyzer name. A directive without a reason is not honoured:
+// undocumented suppressions are themselves a contract violation, reported
+// by CheckDirectives.
+func parseIgnore(text string) (string, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	fields := strings.Fields(text[len(prefix):])
+	if len(fields) < 2 { // analyzer name plus at least one reason word
+		return "", false
+	}
+	return fields[0], true
+}
+
+// CheckDirectives reports malformed //lint:ignore directives (missing
+// analyzer name or missing reason) so suppressions stay documented.
+func (r *Reporter) CheckDirectives() {
+	for _, f := range r.pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:ignore") {
+					continue
+				}
+				if _, ok := parseIgnore(c.Text); !ok {
+					r.diag = append(r.diag, Diagnostic{
+						Analyzer: "lint",
+						Pos:      r.pkg.Fset.Position(c.Pos()),
+						Message:  "malformed //lint:ignore directive: want `//lint:ignore <analyzer> <reason>`",
+					})
+				}
+			}
+		}
+	}
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive covers it.
+func (r *Reporter) Reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	p := r.pkg.Fset.Position(pos)
+	for _, name := range r.ignores[p.Filename][p.Line] {
+		if name == analyzer || name == "all" {
+			return
+		}
+	}
+	r.diag = append(r.diag, Diagnostic{
+		Analyzer: analyzer,
+		Pos:      p,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the collected diagnostics sorted by file, line,
+// column, then analyzer — a stable order independent of check order.
+func (r *Reporter) Diagnostics() []Diagnostic {
+	sort.Slice(r.diag, func(i, j int) bool {
+		a, b := r.diag[i], r.diag[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return r.diag
+}
+
+// Run executes every analyzer over every package and returns the combined
+// diagnostics in stable order.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		rep := NewReporter(p)
+		rep.CheckDirectives()
+		for _, a := range analyzers {
+			a.Check(p, rep)
+		}
+		out = append(out, rep.Diagnostics()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// FileOf returns the base filename containing pos.
+func (p *Package) FileOf(pos token.Pos) string {
+	full := p.Fset.Position(pos).Filename
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// enclosingFunc returns the innermost function literal or declaration body
+// in file that contains pos, or nil.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}

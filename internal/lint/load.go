@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// Dir is the package's absolute directory.
+	Dir string
+	// ImportPath is the module-relative import path ("pdip/internal/core").
+	ImportPath string
+	// Fset positions every file in the package (shared across a Loader).
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, in filename order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's expression facts.
+	Info *types.Info
+	// TypeErrors collects type-check errors (best effort: analyzers still
+	// run on whatever type information was recovered).
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module. Imports within
+// the module resolve from the module tree on disk; standard-library
+// imports resolve through the stdlib source importer, keeping the whole
+// pipeline free of external dependencies.
+type Loader struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Module is the module path from go.mod.
+	Module string
+
+	fset    *token.FileSet
+	pkgs    map[string]*Package // keyed by import path
+	loading map[string]bool
+	stdlib  types.Importer
+}
+
+// NewLoader builds a loader for the module rooted at root. The module path
+// is read from root/go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    abs,
+		Module:  module,
+		fset:    fset,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		stdlib:  importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer: module-internal paths load from disk,
+// everything else goes to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		p, err := l.LoadImportPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// LoadImportPath loads the module package with the given import path.
+func (l *Loader) LoadImportPath(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	return l.LoadDir(filepath.Join(l.Root, filepath.FromSlash(rel)))
+}
+
+// LoadDir loads the package in dir (which must be inside the module),
+// memoised by import path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s is outside module root %s: %w", abs, l.Root, err)
+	}
+	ipath := l.Module
+	if rel != "." {
+		ipath = l.Module + "/" + filepath.ToSlash(rel)
+	}
+	if p, ok := l.pkgs[ipath]; ok {
+		return p, nil
+	}
+	if l.loading[ipath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", ipath)
+	}
+	l.loading[ipath] = true
+	defer delete(l.loading, ipath)
+
+	// go/build applies the default build constraints (GOOS/GOARCH, no
+	// custom tags), so tag-gated twins like invariant_off.go resolve the
+	// same way `go build` does.
+	bp, err := build.Default.ImportDir(abs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", abs, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+
+	p := &Package{Dir: abs, ImportPath: ipath, Fset: l.fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		p.Files = append(p.Files, f)
+	}
+
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	// Check returns the (possibly partial) package even on errors; the
+	// errors are kept on the Package for the caller to surface.
+	tpkg, _ := conf.Check(ipath, l.fset, p.Files, p.Info)
+	p.Types = tpkg
+	l.pkgs[ipath] = p
+	return p, nil
+}
+
+// LoadTree loads every package under root (the module root or a
+// subdirectory), skipping testdata, hidden, and VCS directories, in
+// deterministic directory order.
+func (l *Loader) LoadTree(root string) ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		if !hasGoFiles(dir) {
+			continue
+		}
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// hasGoFiles reports whether dir contains at least one buildable non-test
+// Go file under the default build constraints.
+func hasGoFiles(dir string) bool {
+	bp, err := build.Default.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}

@@ -1,0 +1,3 @@
+module corpus
+
+go 1.22

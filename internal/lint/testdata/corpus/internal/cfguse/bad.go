@@ -1,0 +1,28 @@
+package cfguse
+
+import (
+	"corpus/internal/cache"
+	"corpus/internal/pdip"
+)
+
+// BadCache has a non-power-of-two set count and over-protects ways:
+// must flag.
+func BadCache() cache.Config {
+	return cache.Config{ // want:cfgbounds
+		Name:          "L1I",
+		SizeBytes:     48 * 1024,
+		Ways:          8,
+		ProtectedWays: 12, // want:cfgbounds
+	}
+}
+
+// BadPDIP overflows the mask width, the tag width, and the probability
+// range: must flag.
+func BadPDIP() pdip.Config {
+	return pdip.Config{
+		Sets:       -1,  // want:cfgbounds
+		MaskBits:   12,  // want:cfgbounds
+		TagBits:    40,  // want:cfgbounds
+		InsertProb: 1.5, // want:cfgbounds
+	}
+}

@@ -1,0 +1,28 @@
+package cfguse
+
+import (
+	"corpus/internal/cache"
+	"corpus/internal/pdip"
+)
+
+// GoodConfigs mirror the paper geometry and satisfy every bound:
+// must pass.
+func GoodConfigs() (cache.Config, pdip.Config) {
+	cc := cache.Config{
+		Name:          "L1I",
+		SizeBytes:     32 * 1024,
+		Ways:          8,
+		HitLatency:    2,
+		MSHRs:         16,
+		ProtectedWays: 6,
+	}
+	pc := pdip.Config{
+		Sets:            512,
+		Ways:            8,
+		TargetsPerEntry: 2,
+		MaskBits:        4,
+		TagBits:         10,
+		InsertProb:      0.25,
+	}
+	return cc, pc
+}

@@ -1,0 +1,18 @@
+package core
+
+// step increments the pipe group from core.go, the file the //lint:owner
+// directive names: must pass.
+func (c *counters) step() {
+	c.pipe.cycles.Inc()
+}
+
+// Run drives the miniature core.
+func Run(cycles int) uint64 {
+	c := newCounters()
+	for i := 0; i < cycles; i++ {
+		c.step()
+		c.retireStep(1)
+	}
+	c.decodeStep()
+	return c.pipe.cycles.Load()
+}

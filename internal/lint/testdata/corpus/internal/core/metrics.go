@@ -1,0 +1,32 @@
+package core
+
+import "corpus/internal/metrics"
+
+// counters groups the stage-owned counters, as the real core does.
+type counters struct {
+	retire retireCounters
+	pipe   pipeCounters
+}
+
+// retireCounters is owned by the retire stage (default ownership:
+// stage_retire.go).
+type retireCounters struct {
+	instructions *metrics.Counter
+	occ          *metrics.Histogram
+}
+
+// pipeCounters is owned by the cycle loop, not a stage file.
+//
+//lint:owner core.go
+type pipeCounters struct {
+	cycles *metrics.Counter
+}
+
+func newCounters() counters {
+	c := counters{
+		retire: retireCounters{instructions: &metrics.Counter{}, occ: &metrics.Histogram{}},
+		pipe:   pipeCounters{cycles: &metrics.Counter{}},
+	}
+	c.retire.instructions.Add(0)
+	return c
+}

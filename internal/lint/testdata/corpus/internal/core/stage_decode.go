@@ -1,0 +1,7 @@
+package core
+
+// decodeStep pokes another stage's counters: must flag.
+func (c *counters) decodeStep() {
+	c.retire.instructions.Inc() // want:counterownership
+	c.pipe.cycles.Inc()         // want:counterownership
+}

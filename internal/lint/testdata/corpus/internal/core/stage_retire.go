@@ -1,0 +1,9 @@
+package core
+
+// retireStep increments the retire group from its owning file: must pass.
+func (c *counters) retireStep(lines uint64) {
+	c.retire.instructions.Inc()
+	c.retire.occ.Observe(lines)
+	// Reads are unrestricted everywhere.
+	_ = c.pipe.cycles.Load()
+}

@@ -1,0 +1,76 @@
+// Package bad violates every determinism contract: must flag.
+package bad
+
+import (
+	"fmt"
+	"math/rand" // want:determinism
+	"time"
+)
+
+// Stamp reads the host clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want:determinism
+}
+
+// Roll draws from the global RNG (the import above is the violation).
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Race spawns a goroutine inside simulation code.
+func Race(done chan struct{}) {
+	go func() { close(done) }() // want:determinism
+}
+
+// PrintAll writes output in map-iteration order.
+func PrintAll(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want:determinism
+	}
+}
+
+// Keys builds a slice in map-iteration order and never sorts it.
+func Keys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want:determinism
+	}
+	return keys
+}
+
+// Last is last-writer-wins over map order.
+func Last(m map[int]int) int {
+	var last int
+	for _, v := range m {
+		last = v // want:determinism
+	}
+	return last
+}
+
+// SumF accumulates floats, which is not associative across orders.
+func SumF(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want:determinism
+	}
+	return s
+}
+
+// agg shows a field write inside map iteration.
+type agg struct{ last int }
+
+// Fill mutates shared state in map-iteration order.
+func (a *agg) Fill(m map[int]int) {
+	for _, v := range m {
+		a.last = v // want:determinism
+	}
+}
+
+// malformed carries an ignore directive without a reason, which is itself
+// reported rather than honoured.
+func malformed(m map[int]int) int {
+	a := agg{}
+	_ = a /* want:lint */ //lint:ignore determinism
+	a.Fill(m)
+	return a.last
+}

@@ -1,0 +1,40 @@
+// Package good uses only the order-independent and sanctioned idioms:
+// must pass.
+package good
+
+import "sort"
+
+// Keys is the collect-then-sort idiom.
+func Keys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Sum is commutative integer accumulation.
+func Sum(m map[int]uint64) uint64 {
+	var s uint64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Copy writes only through keys: order-independent.
+func Copy(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Spawn documents why its goroutine is outside the simulated clock; the
+// suppression must silence the diagnostic.
+func Spawn(done chan struct{}) {
+	//lint:ignore determinism corpus exercise of the suppression path: no simulator state is shared
+	go func() { close(done) }()
+}

@@ -1,0 +1,14 @@
+package fetch
+
+import "corpus/internal/cache"
+
+// BadFetch bypasses the port layer with direct cache calls: must flag.
+func BadFetch(c *cache.Cache, at int64) bool {
+	if c.MSHRFree(at) == 0 { // want:portdiscipline
+		return false
+	}
+	if c.Contains(uint64(at)) { // want:portdiscipline
+		c.Promote(uint64(at)) // want:portdiscipline
+	}
+	return c.Access(at) // want:portdiscipline
+}

@@ -1,0 +1,11 @@
+package fetch
+
+import "corpus/internal/mem"
+
+// GoodFetch routes all traffic through the port wrappers: must pass.
+func GoodFetch(p *mem.Port, at int64) bool {
+	if !p.FetchInst(at) {
+		return p.Send(at + 1)
+	}
+	return true
+}

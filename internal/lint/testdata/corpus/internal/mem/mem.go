@@ -1,0 +1,26 @@
+// Package mem is the sanctioned access path to the cache: inside
+// internal/mem the direct cache calls are the implementation of the port
+// discipline, not a violation of it.
+package mem
+
+import "corpus/internal/cache"
+
+// Port is the request/response channel into the hierarchy.
+type Port struct{ l1 *cache.Cache }
+
+// NewPort wraps a cache level.
+func NewPort(l1 *cache.Cache) *Port { return &Port{l1: l1} }
+
+// Send forwards one request, reserving an MSHR first.
+func (p *Port) Send(at int64) bool {
+	if p.l1.MSHRFree(at) == 0 {
+		return false
+	}
+	if !p.l1.Access(at) {
+		p.l1.Fill(at)
+	}
+	return true
+}
+
+// FetchInst is the named instruction-fetch wrapper.
+func (p *Port) FetchInst(at int64) bool { return p.Send(at) }

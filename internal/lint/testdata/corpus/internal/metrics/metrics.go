@@ -1,0 +1,24 @@
+// Package metrics is a miniature of the real registry: just enough
+// method surface for the corpus packages to exercise the analyzers.
+package metrics
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Load reads the current value.
+func (c *Counter) Load() uint64 { return c.v }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v = 0 }
+
+// Histogram records a distribution.
+type Histogram struct{ n uint64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) { h.n += v }

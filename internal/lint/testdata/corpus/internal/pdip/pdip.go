@@ -1,0 +1,19 @@
+// Package pdip is a miniature of the real prefetcher: just the Config
+// geometry fields cfgbounds checks.
+package pdip
+
+// Config parameterises the PDIP table.
+type Config struct {
+	Sets            int
+	Ways            int
+	TargetsPerEntry int
+	MaskBits        int
+	TagBits         int
+	InsertProb      float64
+}
+
+// PDIP is the prefetcher.
+type PDIP struct{ cfg Config }
+
+// New builds a prefetcher.
+func New(cfg Config) *PDIP { return &PDIP{cfg: cfg} }

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// namedOf unwraps pointers and returns the named type behind t, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// typeDeclPkg returns the declaring package path and type name of t (after
+// pointer unwrapping), or "","" when t is not a named type.
+func typeDeclPkg(t types.Type) (pkgPath, name string) {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name()
+}
+
+// methodCall decomposes call into (receiver expression, receiver type,
+// method name) when call is a method call through a selector; ok is false
+// for plain function calls, package-qualified calls, and conversions.
+func methodCall(p *Package, call *ast.CallExpr) (recv ast.Expr, recvType types.Type, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, "", false
+	}
+	s, isMethod := p.Info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return nil, nil, "", false
+	}
+	return sel.X, s.Recv(), sel.Sel.Name, true
+}
+
+// pkgFuncCall returns the package path and function name when call invokes
+// a package-level function through a package qualifier (fmt.Println,
+// sort.Strings, ...).
+func pkgFuncCall(p *Package, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isInternalPath reports whether path is a simulation package of this
+// module (module/internal/...), which is where the determinism contract
+// applies.
+func isInternalPath(module, path string) bool {
+	return strings.HasPrefix(path, module+"/internal/")
+}
+
+// objOf resolves the object an identifier refers to (use or definition).
+func objOf(p *Package, id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// constInt extracts an exact integer from a constant expression value,
+// returning ok=false for non-constant or non-integer expressions.
+func constInt(p *Package, e ast.Expr) (int64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return exactInt(tv)
+}
+
+func exactInt(tv types.TypeAndValue) (int64, bool) {
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+// constFloat extracts a float from a constant expression value.
+func constFloat(p *Package, e ast.Expr) (float64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(v)
+	return f, true
+}

@@ -12,6 +12,7 @@ package mem
 
 import (
 	"pdip/internal/cache"
+	"pdip/internal/invariant"
 	"pdip/internal/isa"
 )
 
@@ -130,6 +131,9 @@ func (p *levelPort) Send(req Req) AccessResult {
 		}
 	}
 	p.c.Fill(req.Line, t, ready, cache.FillOpts{})
+	if invariant.Enabled && !p.c.Contains(req.Line) {
+		invariant.Failf("level %s: line %#x absent after inclusive fill", p.level, uint64(req.Line))
+	}
 	return AccessResult{Done: ready, ServedBy: down.ServedBy}
 }
 
@@ -188,5 +192,13 @@ func (p *l1Port) sendPrefetch(req Req) AccessResult {
 		Prefetch: req.Op == OpPrefetch,
 		Priority: req.Priority,
 	})
+	if invariant.Enabled && req.Op == OpPrefetch {
+		// Demand-first discipline: a forwarded prefetch consumes at most
+		// one MSHR, so the reserve kept for demand fetches must survive
+		// the fill it just triggered.
+		if free := p.c.MSHRFree(req.At); free < req.Reserve {
+			invariant.Failf("prefetch fill broke the demand reserve: %d MSHRs free < reserve %d", free, req.Reserve)
+		}
+	}
 	return AccessResult{Done: down.Done, ServedBy: down.ServedBy}
 }

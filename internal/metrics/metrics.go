@@ -226,11 +226,24 @@ type Registrant interface {
 // reset after warmup. Gauges (levels) and bound functions (whose backing
 // state is reset by the owning component) are left alone.
 func (r *Registry) Reset() {
-	for _, c := range r.counters {
-		c.Reset()
+	// Per-key resets commute, so iteration order cannot leak into metric
+	// state here — but resetting in sorted-name order keeps the operation
+	// order-independent by construction rather than by argument.
+	names := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
 	}
-	for _, h := range r.hists {
-		h.Reset()
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if c, ok := r.counters[n]; ok {
+			c.Reset()
+		}
+		if h, ok := r.hists[n]; ok {
+			h.Reset()
+		}
 	}
 }
 

@@ -13,6 +13,8 @@
 package pdip
 
 import (
+	"sort"
+
 	"pdip/internal/isa"
 	"pdip/internal/prefetch"
 	"pdip/internal/rng"
@@ -124,9 +126,10 @@ type PDIP struct {
 
 	Stats Stats
 
-	// DebugInserted, when allocated by a test, records every line ever
-	// placed (or mask-merged) as a prefetch target.
-	DebugInserted map[isa.Addr]struct{}
+	// debugInserted, allocated by EnableDebug, records every line ever
+	// placed (or mask-merged) as a prefetch target. Nil — and therefore
+	// free — unless debugging is requested.
+	debugInserted map[isa.Addr]struct{}
 	// DebugLog, when set by a test, receives table events:
 	// kind ∈ {"insert", "merge", "emit", "evict-target"}.
 	DebugLog func(kind string, trigger, line isa.Addr)
@@ -265,8 +268,8 @@ func (p *PDIP) OnLineRetired(ev prefetch.RetireEvent) {
 		p.Stats.InsertFiltered++
 		return
 	}
-	if p.DebugInserted != nil {
-		p.DebugInserted[ev.Line] = struct{}{}
+	if p.debugInserted != nil {
+		p.debugInserted[ev.Line] = struct{}{}
 	}
 	p.insert(trigBlock, ev.Line, kind)
 }
@@ -358,6 +361,27 @@ func (p *PDIP) insert(trigBlock, targetLine isa.Addr, kind prefetch.TriggerKind)
 // ResetStats zeroes the counters while keeping table state warm (used at
 // the end of the measurement warmup window).
 func (p *PDIP) ResetStats() { p.Stats = Stats{} }
+
+// EnableDebug turns on insertion recording: every line subsequently
+// placed (or mask-merged) as a prefetch target is remembered and can be
+// read back with DebugInsertedLines. Off by default so production runs
+// pay neither the map nor its growth.
+func (p *PDIP) EnableDebug() {
+	if p.debugInserted == nil {
+		p.debugInserted = make(map[isa.Addr]struct{})
+	}
+}
+
+// DebugInsertedLines returns every line recorded since EnableDebug, in
+// ascending address order (a deterministic dump of an unordered set).
+func (p *PDIP) DebugInsertedLines() []isa.Addr {
+	lines := make([]isa.Addr, 0, len(p.debugInserted))
+	for l := range p.debugInserted {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
 
 // DebugHolds reports whether the table currently associates trigger with
 // line (directly or via a mask bit). Test/diagnostic use only.

@@ -5,6 +5,7 @@
 package prefetch
 
 import (
+	"pdip/internal/invariant"
 	"pdip/internal/isa"
 	"pdip/internal/mem"
 )
@@ -156,6 +157,14 @@ func (q *Queue) Enqueue(reqs ...Request) {
 		q.entries[(q.head+q.count)%len(q.entries)] = r
 		q.count++
 		q.Stats.Enqueued++
+		if invariant.Enabled {
+			if q.count > len(q.entries) {
+				invariant.Failf("PQ occupancy %d exceeds capacity %d", q.count, len(q.entries))
+			}
+			if r.Line.Line() != r.Line {
+				invariant.Failf("PQ request %#x is not line-aligned", uint64(r.Line))
+			}
+		}
 	}
 }
 
@@ -187,6 +196,9 @@ func (q *Queue) Drain(p mem.Port, now int64, priorityOf func(isa.Addr) bool) {
 		}
 		q.Stats.Issued++
 		q.Stats.ByTrigger[req.Trigger]++
+	}
+	if invariant.Enabled && (q.count < 0 || q.head < 0 || q.head >= len(q.entries)) {
+		invariant.Failf("PQ ring corrupt: head %d count %d capacity %d", q.head, q.count, len(q.entries))
 	}
 }
 
