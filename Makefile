@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build fmt-check vet test race determinism golden check bench clean
-.PHONY: lint check-invariant fuzz
+.PHONY: lint check-invariant fuzz bench-track perf-smoke
 
 all: build
 
@@ -64,6 +64,27 @@ check: fmt-check vet build lint test race determinism golden
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem
+
+# Perf snapshot: run the benchmark suite at a stable benchtime and record
+# ns/op, allocs/op, B/op, and simulated cycles/sec per bench into
+# BENCH_simulator.json (via cmd/benchtrack). Diff the regenerated file
+# against the committed snapshot for before/after evidence in perf PRs.
+BENCHTIME ?= 0.5s
+bench-track:
+	$(GO) test -run '^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchtrack -o BENCH_simulator.json
+
+# Zero-alloc gate: every hot-path micro benchmark must report 0 allocs/op
+# in steady state. The benchtime is iteration-pinned and large enough that
+# one-time pool warm-up allocations truncate to zero; any per-iteration
+# allocation on the step path pushes allocs/op to >= 1 and fails the gate.
+perf-smoke:
+	@out=$$($(GO) test -run '^$$' -bench '^BenchmarkMicro' -benchtime=5000x -benchmem .); \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	echo "$$out" | awk '$$NF == "allocs/op" && $$(NF-1)+0 > 0 { bad = 1; \
+		print "perf-smoke: " $$1 " reports " $$(NF-1) " allocs/op (want 0)" } \
+		END { if (bad) exit 1; print "perf-smoke: all hot-path benches at 0 allocs/op" }'
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,8 @@ package pdip
 import (
 	"testing"
 
+	"pdip/internal/bpu"
+	"pdip/internal/cache"
 	"pdip/internal/cfg"
 	"pdip/internal/core"
 	"pdip/internal/isa"
@@ -164,9 +166,20 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	c := core.DefaultConfig()
 	c.Seed = 1
 	co := core.MustNew(prog, c)
+	b.ReportAllocs()
 	b.ResetTimer()
+	start := co.Cycles()
 	if err := co.Run(uint64(b.N)); err != nil {
 		b.Fatal(err)
+	}
+	reportSimCycles(b, co.Cycles()-start)
+}
+
+// reportSimCycles publishes simulated cycles per wall-clock second — the
+// end-to-end throughput number bench-track trends across commits.
+func reportSimCycles(b *testing.B, cycles int64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(cycles)/s, "simcycles/s")
 	}
 }
 
@@ -176,6 +189,7 @@ func BenchmarkWalker(b *testing.B) {
 	p.NumFuncs = 512
 	prog := cfg.MustGenerate(p)
 	w := trace.New(prog, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Next()
@@ -196,6 +210,7 @@ func BenchmarkMicroCacheLookup(b *testing.B) {
 	h := mem.MustNew(core.DefaultConfig().Mem)
 	p := h.InstPort()
 	p.Send(mem.Req{Op: mem.OpFetch, Line: addr(0x1000), At: 0})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Send(mem.Req{Op: mem.OpFetch, Line: addr(0x1000), At: int64(i) + 10_000})
@@ -208,6 +223,7 @@ func BenchmarkMicroFetchPath(b *testing.B) {
 	h := mem.MustNew(core.DefaultConfig().Mem)
 	p := h.InstPort()
 	const footprint = 4096 // lines; 256KB >> 32KB L1I
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		line := addr(uint64(i%footprint) * 64)
@@ -221,6 +237,7 @@ func BenchmarkMicroPQDrain(b *testing.B) {
 	h := mem.MustNew(core.DefaultConfig().Mem)
 	q := prefetch.NewQueue(32)
 	noPriority := func(isa.Addr) bool { return false }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		base := uint64(i) * 8 * 64
@@ -245,9 +262,43 @@ func BenchmarkMicroCoreStep(b *testing.B) {
 	c := core.DefaultConfig()
 	c.Seed = 1
 	co := core.MustNew(prog, c)
+	b.ReportAllocs()
 	b.ResetTimer()
+	start := co.Cycles()
 	if err := co.Run(uint64(b.N)); err != nil {
 		b.Fatal(err)
+	}
+	reportSimCycles(b, co.Cycles()-start)
+}
+
+// BenchmarkMicroTAGEPredict measures one predict+train round trip of the
+// TAGE conditional predictor — the folded-history memoization target.
+func BenchmarkMicroTAGEPredict(b *testing.B) {
+	t := bpu.NewTAGE()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := addr(0x1000 + uint64(i%512)*4)
+		t.Predict(pc)
+		t.Update(pc, i&3 != 0)
+	}
+}
+
+// BenchmarkMicroMSHRPrune measures the MSHR bookkeeping of a first-level
+// cache under a steady fill/expiry interleaving — the in-place prune and
+// cached earliest-free paths.
+func BenchmarkMicroMSHRPrune(b *testing.B) {
+	c, err := cache.New(cache.Config{Name: "L1I", SizeBytes: 32 << 10, Ways: 8, HitLatency: 2, MSHRs: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := int64(i) * 4
+		c.Fill(addr(uint64(i%1024)*64), now, now+20, cache.FillOpts{})
+		c.MSHRFree(now + 2)
+		c.EarliestMSHRFree(now + 2)
 	}
 }
 
@@ -258,6 +309,7 @@ func BenchmarkPDIPTable(b *testing.B) {
 	pc.RequireHighCost = false
 	p := ipdip.New(pc)
 	reqs := p.OnFTQInsert(0x1000, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		trig := 0x1000 + uint64(i%4096)*64

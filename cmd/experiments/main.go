@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"pdip"
+	"pdip/internal/profiling"
 )
 
 func main() {
@@ -34,8 +35,22 @@ func main() {
 		metrics  = flag.String("metrics", "", "after the experiment, write every executed run's full metrics registry as JSON to this path, keyed by benchmark/policy")
 		listB    = flag.Bool("list-benchmarks", false, "print Table 2 benchmark registry and exit")
 		listP    = flag.Bool("list-policies", false, "print Table 3 policy registry and exit")
+		noFF     = flag.Bool("no-fast-forward", false, "step every cycle instead of fast-forwarding idle windows (metrics are bit-identical either way)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering every run to this path")
+		memProf  = flag.String("memprofile", "", "write a post-experiment heap profile to this path")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	// Discovery flags mirror cmd/pdipsim, so the grids an experiment can
 	// sweep (-benchmarks subsets, policy columns) are enumerable here too.
@@ -76,6 +91,7 @@ func main() {
 		o.Benchmarks = strings.Split(*benchCSV, ",")
 	}
 	o.Parallelism = *par
+	o.NoFastForward = *noFF
 
 	runner := pdip.NewRunner(*par)
 	if *run == "all" {

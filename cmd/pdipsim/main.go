@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"pdip"
+	"pdip/internal/profiling"
 )
 
 func main() {
@@ -33,8 +34,22 @@ func main() {
 		listB    = flag.Bool("list-benchmarks", false, "print Table 2 benchmark registry and exit")
 		listP    = flag.Bool("list-policies", false, "print Table 3 policy registry and exit")
 		printCfg = flag.Bool("print-config", false, "print the Table 1 baseline configuration and exit")
+		noFF     = flag.Bool("no-fast-forward", false, "step every cycle instead of fast-forwarding idle windows (metrics are bit-identical either way)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile for the run to this path")
+		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this path")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdipsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "pdipsim:", err)
+		}
+	}()
 
 	switch {
 	case *listB:
@@ -62,12 +77,13 @@ func main() {
 	}
 
 	res, err := pdip.Run(pdip.RunSpec{
-		Benchmark:   *bench,
-		Policy:      *pol,
-		Warmup:      *warmup,
-		Measure:     *measure,
-		BTBEntries:  *btb,
-		SampleEvery: *sampleN,
+		Benchmark:     *bench,
+		Policy:        *pol,
+		Warmup:        *warmup,
+		Measure:       *measure,
+		BTBEntries:    *btb,
+		SampleEvery:   *sampleN,
+		NoFastForward: *noFF,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdipsim:", err)

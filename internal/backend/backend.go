@@ -84,13 +84,18 @@ func (r *ROB) Retire(now int64, width int, out []*frontend.Uop) []*frontend.Uop 
 
 // SquashWrongPath removes every wrong-path uop. Wrong-path uops are always
 // a contiguous suffix (everything fetched after the mispredicted branch),
-// so squash pops from the tail. It returns the number squashed.
-func (r *ROB) SquashWrongPath() int {
+// so squash pops from the tail. Each squashed uop is handed to onSquash
+// (when non-nil) before its slot is cleared, so the owner can recycle its
+// storage. It returns the number squashed.
+func (r *ROB) SquashWrongPath(onSquash func(*frontend.Uop)) int {
 	n := 0
 	for r.count > 0 {
 		tail := (r.head + r.count - 1) % len(r.entries)
 		if !r.entries[tail].WrongPath {
 			break
+		}
+		if onSquash != nil {
+			onSquash(r.entries[tail])
 		}
 		r.entries[tail] = nil
 		r.count--

@@ -59,7 +59,7 @@ func TestSquashWrongPathSuffix(t *testing.T) {
 	r.Push(uop(2, 0, false))
 	r.Push(uop(3, 0, true))
 	r.Push(uop(4, 0, true))
-	if n := r.SquashWrongPath(); n != 2 {
+	if n := r.SquashWrongPath(nil); n != 2 {
 		t.Fatalf("squashed %d, want 2", n)
 	}
 	if r.Len() != 2 {
@@ -75,12 +75,12 @@ func TestSquashWrongPathSuffix(t *testing.T) {
 
 func TestSquashEmptyAndAllWrong(t *testing.T) {
 	r := NewROB(4)
-	if r.SquashWrongPath() != 0 {
+	if r.SquashWrongPath(nil) != 0 {
 		t.Fatal("squash on empty ROB")
 	}
 	r.Push(uop(1, 0, true))
 	r.Push(uop(2, 0, true))
-	if r.SquashWrongPath() != 2 || !r.Empty() {
+	if r.SquashWrongPath(nil) != 2 || !r.Empty() {
 		t.Fatal("all-wrong squash failed")
 	}
 }

@@ -31,6 +31,15 @@ type ITTAGE struct {
 	tagFold [ittageTables]foldedHist
 
 	allocSeed uint64
+
+	// memo caches per-table indices and tags for the last prepared
+	// (pc, history) pair, exactly as in TAGE: Predict and Update for the
+	// same indirect branch see the same history, so the folded hashes
+	// need computing once per branch, not once per loop.
+	memoPC  isa.Addr
+	memoOK  bool
+	memoIdx [ittageTables]int32
+	memoTag [ittageTables]uint16
 }
 
 // NewITTAGE returns an ITTAGE predictor with the default (≈64KB-class)
@@ -59,12 +68,27 @@ func (it *ITTAGE) baseIndex(pc isa.Addr) int {
 	return int((pc >> 1) & ((1 << ittageBaseBits) - 1))
 }
 
+// prepare fills the index/tag memo for pc against the current history,
+// reusing it when pc was already prepared since the last history shift.
+func (it *ITTAGE) prepare(pc isa.Addr) {
+	if it.memoOK && it.memoPC == pc {
+		return
+	}
+	for i := 0; i < ittageTables; i++ {
+		it.memoIdx[i] = int32(it.index(i, pc))
+		it.memoTag[i] = it.tag(i, pc)
+	}
+	it.memoPC = pc
+	it.memoOK = true
+}
+
 // Predict returns the predicted target for the indirect branch at pc and
 // whether any component produced a prediction.
 func (it *ITTAGE) Predict(pc isa.Addr) (isa.Addr, bool) {
+	it.prepare(pc)
 	for i := ittageTables - 1; i >= 0; i-- {
-		e := &it.tables[i][it.index(i, pc)]
-		if e.tag == it.tag(i, pc) && e.target != 0 {
+		e := &it.tables[i][it.memoIdx[i]]
+		if e.tag == it.memoTag[i] && e.target != 0 {
 			return e.target, true
 		}
 	}
@@ -76,12 +100,13 @@ func (it *ITTAGE) Predict(pc isa.Addr) (isa.Addr, bool) {
 
 // Update trains the predictor with the actual target and shifts history.
 func (it *ITTAGE) Update(pc isa.Addr, target isa.Addr) {
+	it.prepare(pc)
 	provider := -1
 	var pidx int
 	for i := ittageTables - 1; i >= 0; i-- {
-		idx := it.index(i, pc)
+		idx := int(it.memoIdx[i])
 		e := &it.tables[i][idx]
-		if e.tag == it.tag(i, pc) && e.target != 0 {
+		if e.tag == it.memoTag[i] && e.target != 0 {
 			provider, pidx = i, idx
 			break
 		}
@@ -121,21 +146,21 @@ func (it *ITTAGE) Update(pc isa.Addr, target isa.Addr) {
 }
 
 func (it *ITTAGE) allocate(pc isa.Addr, target isa.Addr, provider int) {
+	it.prepare(pc)
 	start := provider + 1
 	it.allocSeed = it.allocSeed*6364136223846793005 + 1442695040888963407
 	if n := ittageTables - start; n > 1 && (it.allocSeed>>33)&1 == 1 {
 		start++
 	}
 	for i := start; i < ittageTables; i++ {
-		idx := it.index(i, pc)
-		e := &it.tables[i][idx]
+		e := &it.tables[i][it.memoIdx[i]]
 		if e.useful == 0 {
-			*e = ittageEntry{tag: it.tag(i, pc), target: target, ctr: 1}
+			*e = ittageEntry{tag: it.memoTag[i], target: target, ctr: 1}
 			return
 		}
 	}
 	for i := start; i < ittageTables; i++ {
-		e := &it.tables[i][it.index(i, pc)]
+		e := &it.tables[i][it.memoIdx[i]]
 		if e.useful > 0 {
 			e.useful--
 		}
@@ -151,4 +176,5 @@ func (it *ITTAGE) PushHistory(taken bool) {
 		it.tagFold[i].push(taken, old)
 	}
 	it.hist.push(taken)
+	it.memoOK = false
 }

@@ -90,6 +90,17 @@ type TAGE struct {
 	useAltOnNa int8
 	// allocSeed provides deterministic pseudo-randomness for allocation.
 	allocSeed uint64
+
+	// memo caches the per-table indices and tags of the last prepared
+	// (pc, history) pair. Predict and Update for the same branch see the
+	// same history (Update trains before PushHistory shifts it), so the
+	// folded-history hashes would otherwise be recomputed two or three
+	// times per predicted branch — once in Predict's lookup, once in
+	// Update's, once in allocate. PushHistory invalidates the memo.
+	memoPC  isa.Addr
+	memoOK  bool
+	memoIdx [tageTables]int32
+	memoTag [tageTables]uint16
 }
 
 // NewTAGE returns a TAGE predictor with the default (≈64KB-class) geometry.
@@ -114,6 +125,20 @@ func (t *TAGE) tag(table int, pc isa.Addr) uint16 {
 	return uint16(v & ((1 << tageTagBits) - 1))
 }
 
+// prepare fills the index/tag memo for pc against the current history,
+// reusing it when pc was already prepared since the last history shift.
+func (t *TAGE) prepare(pc isa.Addr) {
+	if t.memoOK && t.memoPC == pc {
+		return
+	}
+	for i := 0; i < tageTables; i++ {
+		t.memoIdx[i] = int32(t.index(i, pc))
+		t.memoTag[i] = t.tag(i, pc)
+	}
+	t.memoPC = pc
+	t.memoOK = true
+}
+
 func (t *TAGE) baseIndex(pc isa.Addr) int {
 	return int((pc >> 1) & ((1 << baseBits) - 1))
 }
@@ -127,14 +152,15 @@ func (t *TAGE) Predict(pc isa.Addr) bool {
 // lookup returns (prediction, provider table or -1 for base, provider
 // index, altpred).
 func (t *TAGE) lookup(pc isa.Addr) (pred bool, provider, pidx int, altpred bool) {
+	t.prepare(pc)
 	provider = -1
 	altFound := false
 	altpred = t.base[t.baseIndex(pc)] >= 0
 	pred = altpred
 	for i := tageTables - 1; i >= 0; i-- {
-		idx := t.index(i, pc)
+		idx := int(t.memoIdx[i])
 		e := &t.tables[i][idx]
-		if e.tag == t.tag(i, pc) {
+		if e.tag == t.memoTag[i] {
 			if provider == -1 {
 				provider, pidx = i, idx
 				pred = e.ctr >= 0
@@ -200,8 +226,10 @@ func (t *TAGE) Update(pc isa.Addr, taken bool) {
 }
 
 // allocate tries to claim an entry in one of the tables with history
-// longer than the provider's, preferring not-useful entries.
+// longer than the provider's, preferring not-useful entries. It runs
+// between Update's lookup and PushHistory, so the memo is warm.
 func (t *TAGE) allocate(pc isa.Addr, taken bool, provider int) {
+	t.prepare(pc)
 	start := provider + 1
 	// Pseudo-random start offset avoids always allocating in the shortest
 	// eligible table (standard TAGE trick).
@@ -211,10 +239,9 @@ func (t *TAGE) allocate(pc isa.Addr, taken bool, provider int) {
 	}
 	allocated := false
 	for i := start; i < tageTables; i++ {
-		idx := t.index(i, pc)
-		e := &t.tables[i][idx]
+		e := &t.tables[i][t.memoIdx[i]]
 		if e.useful == 0 {
-			e.tag = t.tag(i, pc)
+			e.tag = t.memoTag[i]
 			if taken {
 				e.ctr = 0
 			} else {
@@ -228,7 +255,7 @@ func (t *TAGE) allocate(pc isa.Addr, taken bool, provider int) {
 		// Decay useful bits along the allocation path so future
 		// allocations succeed (graceful aging).
 		for i := start; i < tageTables; i++ {
-			e := &t.tables[i][t.index(i, pc)]
+			e := &t.tables[i][t.memoIdx[i]]
 			if e.useful > 0 {
 				e.useful--
 			}
@@ -247,6 +274,7 @@ func (t *TAGE) PushHistory(taken bool) {
 		t.tg2Fold[i].push(taken, old)
 	}
 	t.hist.push(taken)
+	t.memoOK = false
 }
 
 // bump saturates ctr toward taken within [lo, hi].

@@ -100,8 +100,13 @@ type Cache struct {
 	tick    uint32
 
 	// inflight holds readyAt deadlines of outstanding fills (the MSHR
-	// file). Pruned lazily against the current cycle.
+	// file). Pruned lazily against the current cycle, compacting in place
+	// so the backing array is reused across the whole run.
 	inflight []int64
+	// inflightMin caches the earliest deadline in inflight, so the common
+	// "nothing to drain yet" case and the EarliestMSHRFree scan are O(1).
+	// Meaningless when inflight is empty.
+	inflightMin int64
 
 	Stats Stats
 }
@@ -232,30 +237,42 @@ func (c *Cache) EarliestMSHRFree(now int64) int64 {
 	if len(c.inflight) < c.cfg.MSHRs {
 		return now
 	}
-	earliest := c.inflight[0]
-	for _, t := range c.inflight[1:] {
-		if t < earliest {
-			earliest = t
-		}
-	}
-	return earliest
+	// The file is full, so the next free slot is the cached earliest
+	// deadline — no scan.
+	return c.inflightMin
 }
 
+// pruneMSHR drains deadlines that have passed. The cached minimum makes
+// the common case — nothing drains this cycle — a single comparison; when
+// something does drain, one pass compacts the slice in place (reusing the
+// backing array) and recomputes the minimum as it goes.
 func (c *Cache) pruneMSHR(now int64) {
+	if len(c.inflight) == 0 || c.inflightMin > now {
+		return
+	}
 	keep := c.inflight[:0]
+	min := int64(0)
 	for _, t := range c.inflight {
 		if t > now {
+			if len(keep) == 0 || t < min {
+				min = t
+			}
 			keep = append(keep, t)
 		}
 	}
 	c.inflight = keep
+	c.inflightMin = min
 	if invariant.Enabled {
 		// No-leak on drain: every MSHR entry surviving a prune must still
-		// be in flight; a stale deadline here means occupancy accounting
-		// (and hence prefetch drop decisions) has drifted.
+		// be in flight, and the cached minimum must actually be the
+		// minimum; drift in either means occupancy accounting (and hence
+		// prefetch drop decisions) has broken.
 		for _, t := range c.inflight {
 			if t <= now {
 				invariant.Failf("cache %s: MSHR deadline %d not drained at cycle %d", c.cfg.Name, t, now)
+			}
+			if t < c.inflightMin {
+				invariant.Failf("cache %s: cached MSHR minimum %d above live deadline %d", c.cfg.Name, c.inflightMin, t)
 			}
 		}
 	}
@@ -282,6 +299,9 @@ func (c *Cache) Fill(line isa.Addr, now, readyAt int64, opts FillOpts) (evicted 
 	}
 	if readyAt > now {
 		c.pruneMSHR(now)
+		if len(c.inflight) == 0 || readyAt < c.inflightMin {
+			c.inflightMin = readyAt
+		}
 		c.inflight = append(c.inflight, readyAt)
 	}
 	c.Stats.Fills++

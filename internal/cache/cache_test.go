@@ -257,3 +257,77 @@ func TestMSHRNeverNegativeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMSHROccupancyAcrossPruneFillInterleavings pins MSHR occupancy and
+// the earliest-free cycle against a reference model through adversarial
+// prune/fill interleavings: out-of-order deadlines, same-cycle expiry and
+// refill, time jumps that drain everything, and full-file backpressure.
+// The cached-minimum fast path and the in-place compaction must agree
+// with the brute-force recount at every step.
+func TestMSHROccupancyAcrossPruneFillInterleavings(t *testing.T) {
+	c := MustNew(Config{Name: "M", SizeBytes: 64 << 10, Ways: 4, HitLatency: 2, MSHRs: 4})
+	// ref is the model: the multiset of live deadlines.
+	var ref []int64
+	refFree := func(now int64) int {
+		n := 0
+		for _, d := range ref {
+			if d > now {
+				n++
+			}
+		}
+		return 4 - n
+	}
+	refEarliest := func(now int64) int64 {
+		if refFree(now) > 0 {
+			return now
+		}
+		min := int64(0)
+		for _, d := range ref {
+			if d > now && (min == 0 || d < min) {
+				min = d
+			}
+		}
+		return min
+	}
+	check := func(now int64) {
+		t.Helper()
+		if got, want := c.MSHRFree(now), refFree(now); got != want {
+			t.Fatalf("cycle %d: MSHRFree = %d, want %d (ref %v)", now, got, want, ref)
+		}
+		if got, want := c.EarliestMSHRFree(now), refEarliest(now); got != want {
+			t.Fatalf("cycle %d: EarliestMSHRFree = %d, want %d (ref %v)", now, got, want, ref)
+		}
+	}
+	fill := func(line isa.Addr, now, readyAt int64) {
+		c.Fill(line, now, readyAt, FillOpts{})
+		if readyAt > now {
+			ref = append(ref, readyAt)
+		}
+	}
+
+	// Out-of-order deadlines: longest first.
+	fill(0x1000, 10, 200)
+	fill(0x1040, 11, 50)
+	fill(0x1080, 12, 120)
+	check(12)
+	// Partial drain: the short one expires, the others survive.
+	check(51)
+	// Refill on the same cycle a deadline expires.
+	fill(0x10c0, 120, 140)
+	check(120)
+	// Fill the file and verify full-file earliest-free (cached minimum).
+	fill(0x1100, 121, 125)
+	check(121)
+	// Drain two at once with a time jump.
+	check(141)
+	// Instant fill (readyAt == now) consumes nothing.
+	fill(0x1140, 150, 150)
+	check(150)
+	// Drain everything, then rebuild from empty.
+	check(1000)
+	fill(0x2000, 1001, 1030)
+	fill(0x2040, 1001, 1010)
+	check(1001)
+	check(1010)
+	check(1030)
+}

@@ -102,6 +102,12 @@ type Config struct {
 	// MaxCyclesPerInst aborts a run whose cycle count explodes (guards
 	// against configuration errors); 0 uses a generous default.
 	MaxCyclesPerInst int
+
+	// NoFastForward disables idle-cycle fast-forward (see Core.step): the
+	// clock then ticks every cycle individually. Metrics are bit-identical
+	// either way — the flag exists to verify exactly that, and as an
+	// escape hatch when debugging the stage event bounds themselves.
+	NoFastForward bool
 }
 
 // DefaultConfig returns the paper's Golden Cove-like baseline (Table 1)

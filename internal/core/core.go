@@ -61,7 +61,10 @@ type Core struct {
 	// control; stats.Instructions resets with ResetStats).
 	retired uint64
 
-	pendingResteer *resteerEvent
+	// pendingResteer is the single in-flight redirect, stored inline
+	// (hasResteer gates validity) so scheduling one allocates nothing.
+	pendingResteer resteerEvent
+	hasResteer     bool
 	iagResumeAt    int64
 
 	// Resteer shadow state (§4.2 trigger association).
@@ -107,6 +110,11 @@ type Core struct {
 
 	reqBuf    []prefetch.Request
 	retireBuf []*frontend.Uop
+
+	// uopFree and epFree recycle uop and line-episode storage (pool.go):
+	// the steady-state cycle loop allocates nothing once the pools warm.
+	uopFree []*frontend.Uop
+	epFree  []*frontend.LineEpisode
 
 	// Optional prefetcher extensions, resolved once at construction.
 	pfEmitter  prefetch.RetireEmitter
@@ -166,6 +174,11 @@ func New(prog *cfg.Program, c Config) (*Core, error) {
 		&predictStage{co: co},
 		&prefetchDrainStage{co: co},
 	)
+	if c.DecodeQDepth > 0 {
+		// Occupancy is bounded by the decode-depth check in fetchOne, so
+		// pre-sizing the latch once removes growth from the hot path.
+		co.decodeQ.Grow(c.DecodeQDepth)
+	}
 	co.registerMetrics()
 	if c.CollectSets {
 		co.fecSet = make(map[isa.Addr]struct{})
@@ -221,6 +234,8 @@ func (co *Core) Run(n uint64) error {
 
 // step advances one cycle: per-cycle bookkeeping, then every pipeline
 // stage in order (oldest work first — see New for the stage sequence).
+// After the tick it fast-forwards over provably idle cycles (see
+// fastForward), unless the configuration disables it.
 func (co *Core) step() {
 	co.now++
 	co.ct.pipe.cycles.Inc()
@@ -229,6 +244,32 @@ func (co *Core) step() {
 	}
 	co.ct.pipe.ftqOcc.Observe(float64(co.ftq.Len()))
 	co.pipe.Tick(co.now)
+	if !co.cfg.NoFastForward {
+		co.fastForward()
+	}
+}
+
+// fastForward skips cycles that cannot change architectural state: every
+// stage lower-bounds its next event (pipeline.Sleeper) and when the
+// earliest bound is T > now+1, the clock jumps directly to T-1 with the
+// per-cycle bookkeeping of the skipped window applied in bulk — the cycle
+// counter, the FTQ-occupancy sample (constant across the window, since no
+// stage acts), and each stage's stalled-cycle accounting
+// (pipeline.StallAccounter). The next step() then ticks cycle T normally.
+// Metrics are bit-identical to stepping every cycle; TestFastForwardBitIdentical
+// and the golden-grid replay pin that equivalence. When every stage reports
+// Never (a true deadlock) nothing is skipped, so Run's cycle-budget guard
+// still fires.
+func (co *Core) fastForward() {
+	next := co.pipe.NextEventAt(co.now)
+	if next <= co.now+1 || next == pipeline.Never {
+		return
+	}
+	n := next - co.now - 1
+	co.ct.pipe.cycles.Add(uint64(n))
+	co.ct.pipe.ftqOcc.ObserveN(float64(co.ftq.Len()), uint64(n))
+	co.pipe.AccountStall(co.now, n)
+	co.now += n
 }
 
 // ResetStats zeroes all measurement counters while keeping architectural

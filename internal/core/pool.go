@@ -1,0 +1,66 @@
+package core
+
+import (
+	"pdip/internal/frontend"
+	"pdip/internal/invariant"
+)
+
+// Object recycling for the two hot per-cycle allocations the profiler
+// found: uops (one per delivered instruction) and line episodes (one per
+// fetched line). Both have strict single-owner lifecycles —
+//
+//   - a uop is created at deliver, lives in the fetch→decode latch and
+//     then the ROB, and dies at retire or wrong-path squash;
+//   - an episode is created at startFetch, is referenced by the uops of
+//     its entry (LineEpisode.Refs), and dies when the last referencing
+//     uop dies (or immediately after deliver, for spill-line episodes no
+//     uop maps to);
+//
+// so a free list on the Core replaces the garbage collector entirely in
+// steady state. Recycled objects are reset field-for-field to the zero
+// value, making a pooled allocation bit-identical to a fresh one.
+
+// newUop pops a recycled uop (zeroed) or allocates a fresh one.
+func (co *Core) newUop() *frontend.Uop {
+	if n := len(co.uopFree); n > 0 {
+		u := co.uopFree[n-1]
+		co.uopFree = co.uopFree[:n-1]
+		*u = frontend.Uop{}
+		return u
+	}
+	return &frontend.Uop{}
+}
+
+// releaseUop returns u to the pool, dropping its episode reference and
+// releasing the episode when u was its last holder. The caller must not
+// touch u afterwards.
+func (co *Core) releaseUop(u *frontend.Uop) {
+	if ep := u.Ep; ep != nil {
+		u.Ep = nil
+		ep.Refs--
+		if invariant.Enabled && ep.Refs < 0 {
+			invariant.Failf("pool: episode for line %#x released below zero refs", uint64(ep.Line))
+		}
+		if ep.Refs == 0 {
+			co.releaseEpisode(ep)
+		}
+	}
+	co.uopFree = append(co.uopFree, u)
+}
+
+// newEpisode pops a recycled episode (zeroed) or allocates a fresh one.
+func (co *Core) newEpisode() *frontend.LineEpisode {
+	if n := len(co.epFree); n > 0 {
+		ep := co.epFree[n-1]
+		co.epFree = co.epFree[:n-1]
+		*ep = frontend.LineEpisode{}
+		return ep
+	}
+	return &frontend.LineEpisode{}
+}
+
+// releaseEpisode returns ep to the pool. The caller must not touch ep
+// afterwards.
+func (co *Core) releaseEpisode(ep *frontend.LineEpisode) {
+	co.epFree = append(co.epFree, ep)
+}

@@ -4,6 +4,7 @@ import (
 	"pdip/internal/frontend"
 	"pdip/internal/invariant"
 	"pdip/internal/mem"
+	"pdip/internal/pipeline"
 )
 
 // decodeStage moves uops from the fetch→decode latch into the ROB, up to
@@ -125,12 +126,96 @@ func (s *decodeStage) allocate(u *frontend.Uop, now int64) {
 		if u.ResolveAtDecode {
 			at = now
 		}
-		co.pendingResteer = &resteerEvent{
+		co.pendingResteer = resteerEvent{
 			at:      at,
 			target:  u.CorrectTarget,
 			trigger: u.TriggerBlock,
 			cause:   u.Cause,
 		}
+		co.hasResteer = true
 	}
 	co.rob.Push(u)
+}
+
+// NextEventAt implements pipeline.Sleeper. Decode next acts when the latch
+// head becomes available with ROB headroom; a ROB-full stall waits on
+// retirement (the retire stage's bound). Beyond acting, decode's per-cycle
+// starvation attribution can change target when the clock crosses a missed
+// episode's fill completion or the blocking entry's ReadyAt, so those are
+// events too — the bulk replay in AccountStall is only valid across a
+// window where the attribution is constant.
+func (s *decodeStage) NextEventAt(now int64) int64 {
+	co := s.co
+	next := pipeline.Never
+	if !co.rob.Full() {
+		if u, ok := co.decodeQ.Peek(); ok {
+			t := u.AvailableAt
+			if t < now+1 {
+				t = now + 1
+			}
+			if t < next {
+				next = t
+			}
+		}
+	}
+	if e := co.ifuEntry; e != nil && now < e.ReadyAt {
+		if e.ReadyAt < next {
+			next = e.ReadyAt
+		}
+		for _, ep := range e.Episodes {
+			if ep.Missed && ep.DoneCycle > now && ep.DoneCycle < next {
+				next = ep.DoneCycle
+			}
+		}
+	}
+	return next
+}
+
+// AccountStall implements pipeline.StallAccounter: it applies, in one bulk
+// update, the issue-slot accounting and starvation attribution Tick would
+// have done on each of the n skipped cycles. The driver guarantees (via
+// the NextEventAt bounds) that every skipped cycle would have behaved
+// identically: moved == 0, constant ROB fullness/occupancy class, and a
+// constant blocking episode.
+func (s *decodeStage) AccountStall(now int64, n int64) {
+	co := s.co
+	ct := &co.ct.decode
+	width := uint64(co.cfg.DecodeWidth)
+	nn := uint64(n)
+	if co.rob.Full() {
+		ct.tdBackend.Add(width * nn)
+		return
+	}
+	ct.tdFrontend.Add(width * nn)
+	ct.decodeStarved.Add(nn)
+	switch {
+	case s.blockingEpisodeStarveN(now, n):
+		ct.starvedOnMiss.Add(nn)
+	case co.ifuEntry == nil && co.ftq.Len() == 0:
+		ct.starveNoEntry.Add(nn)
+	case co.decodeQ.Len() > 0:
+		ct.starvePipe.Add(nn)
+	default:
+		ct.starveOther.Add(nn)
+	}
+}
+
+// blockingEpisodeStarveN is blockingEpisodeStarve's bulk form: attribute n
+// consecutive starved cycles to the blocking missed episode.
+func (s *decodeStage) blockingEpisodeStarveN(now int64, n int64) bool {
+	co := s.co
+	e := co.ifuEntry
+	if e == nil || now >= e.ReadyAt {
+		return false
+	}
+	for _, ep := range e.Episodes {
+		if ep.Missed && ep.DoneCycle > now {
+			ep.Starve += int(n)
+			if co.rob.Len() < 64 {
+				ep.BackendEmpty = true
+			}
+			return true
+		}
+	}
+	return false
 }

@@ -5,6 +5,7 @@ import (
 	"pdip/internal/invariant"
 	"pdip/internal/isa"
 	"pdip/internal/mem"
+	"pdip/internal/pipeline"
 )
 
 // dataBase places the synthetic data region far from code.
@@ -52,6 +53,35 @@ func (s *fetchStage) fetchOne(now int64) {
 	}
 	s.deliver(e, now)
 	co.ifuEntry = nil
+	// The entry is fully drained: release the episodes no uop mapped to
+	// (spill lines whose instructions all started on the previous line) and
+	// recycle the entry's storage.
+	for _, ep := range e.Episodes {
+		if ep.Refs == 0 {
+			co.releaseEpisode(ep)
+		}
+	}
+	co.iag.Recycle(e)
+}
+
+// NextEventAt implements pipeline.Sleeper. The IFU's next event is the
+// blocking entry's ReadyAt; with no entry in flight it acts the next cycle
+// when the FTQ holds work, and otherwise sleeps until another stage's
+// event (a predict-stage insert) precedes any fetch. An entry blocked on
+// decode-buffer depth likewise waits on decode's own bound.
+func (s *fetchStage) NextEventAt(now int64) int64 {
+	co := s.co
+	e := co.ifuEntry
+	if e == nil {
+		if co.ftq.Len() > 0 {
+			return now + 1
+		}
+		return pipeline.Never
+	}
+	if now < e.ReadyAt {
+		return e.ReadyAt
+	}
+	return pipeline.Never
 }
 
 // startFetch issues demand-fetch messages for every line of the entry and
@@ -59,15 +89,14 @@ func (s *fetchStage) fetchOne(now int64) {
 func (s *fetchStage) startFetch(e *frontend.FTQEntry, now int64) {
 	co := s.co
 	ready := now
-	e.Episodes = make([]*frontend.LineEpisode, len(e.Lines))
-	for i, line := range e.Lines {
-		ep := &frontend.LineEpisode{
-			Line:             line,
-			WrongPath:        e.WrongPath,
-			FetchCycle:       now,
-			ResteerTrigger:   e.ShadowTrigger,
-			ResteerWasReturn: e.ShadowWasReturn,
-		}
+	e.Episodes = e.Episodes[:0]
+	for _, line := range e.Lines {
+		ep := co.newEpisode()
+		ep.Line = line
+		ep.WrongPath = e.WrongPath
+		ep.FetchCycle = now
+		ep.ResteerTrigger = e.ShadowTrigger
+		ep.ResteerWasReturn = e.ShadowWasReturn
 		if co.cfg.FECIdeal && co.isFECEver(line) {
 			// FEC-Ideal: FEC-qualified lines always arrive with L1I hit
 			// latency (§3's ceiling).
@@ -96,7 +125,7 @@ func (s *fetchStage) startFetch(e *frontend.FTQEntry, now int64) {
 			invariant.Failf("fetch: line %#x completes at %d, before its demand issue at %d",
 				uint64(line), ep.DoneCycle, now)
 		}
-		e.Episodes[i] = ep
+		e.Episodes = append(e.Episodes, ep)
 		if ep.DoneCycle > ready {
 			ready = ep.DoneCycle
 		}
@@ -122,13 +151,13 @@ func (s *fetchStage) deliver(e *frontend.FTQEntry, now int64) {
 	for i := range e.Insts {
 		in := e.Insts[i]
 		co.seq++
-		u := &frontend.Uop{
-			Inst:        in,
-			Seq:         co.seq,
-			WrongPath:   e.WrongPath,
-			Ep:          epFor(in.PC),
-			AvailableAt: avail,
-		}
+		u := co.newUop()
+		u.Inst = in
+		u.Seq = co.seq
+		u.WrongPath = e.WrongPath
+		u.Ep = epFor(in.PC)
+		u.AvailableAt = avail
+		u.Ep.Refs++
 		if in.Kind == isa.NotBranch && co.dataRng.Bool(co.cfg.MemOpFrac) {
 			u.IsMemOp = true
 			u.DataLine = co.genDataLine()

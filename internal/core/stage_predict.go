@@ -3,6 +3,7 @@ package core
 import (
 	"pdip/internal/invariant"
 	"pdip/internal/mem"
+	"pdip/internal/pipeline"
 )
 
 // predictStage runs the IAG: assemble the next predicted basic block,
@@ -28,6 +29,20 @@ func (s *predictStage) Tick(now int64) {
 	for i := 0; i < width; i++ {
 		s.predictOne(now)
 	}
+}
+
+// NextEventAt implements pipeline.Sleeper: the IAG produces a block every
+// cycle it is neither blocked by a full FTQ (a fetch-stage pop is the
+// wake-up) nor inside the post-resteer redirect bubble.
+func (s *predictStage) NextEventAt(now int64) int64 {
+	co := s.co
+	if co.ftq.Full() {
+		return pipeline.Never
+	}
+	if co.iagResumeAt > now+1 {
+		return co.iagResumeAt
+	}
+	return now + 1
 }
 
 func (s *predictStage) predictOne(now int64) {

@@ -1,6 +1,9 @@
 package core
 
-import "pdip/internal/invariant"
+import (
+	"pdip/internal/invariant"
+	"pdip/internal/pipeline"
+)
 
 // prefetchDrainStage moves retire-time prefetch requests (next-line,
 // RDIP, FNL+MMA style prefetchers) into the PQ, then drains the PQ into
@@ -28,6 +31,18 @@ func (s *prefetchDrainStage) Tick(now int64) {
 	}
 	s.drainRetireEmitter(now)
 	co.pq.Drain(co.iport, now, co.priorityOf)
+}
+
+// NextEventAt implements pipeline.Sleeper. A non-empty PQ drains every
+// cycle; an empty one only receives work from retires and FTQ inserts,
+// both of which are other stages' events (and the retire emitter's pending
+// buffer is always drained within the same Tick it was filled, so it is
+// empty between cycles).
+func (s *prefetchDrainStage) NextEventAt(now int64) int64 {
+	if s.co.pq.Len() > 0 {
+		return now + 1
+	}
+	return pipeline.Never
 }
 
 // drainRetireEmitter collects pending retire-time requests from the

@@ -3,6 +3,7 @@ package core
 import (
 	"pdip/internal/frontend"
 	"pdip/internal/invariant"
+	"pdip/internal/pipeline"
 )
 
 // resteerStage applies the single pending front-end redirect once its
@@ -20,11 +21,11 @@ func (s *resteerStage) Name() string { return "resteer" }
 // Tick implements pipeline.Stage.
 func (s *resteerStage) Tick(now int64) {
 	co := s.co
-	ev := co.pendingResteer
-	if ev == nil || now < ev.at {
+	if !co.hasResteer || now < co.pendingResteer.at {
 		return
 	}
-	co.pendingResteer = nil
+	ev := co.pendingResteer
+	co.hasResteer = false
 
 	ct := &co.ct.resteer
 	switch ev.cause {
@@ -36,18 +37,34 @@ func (s *resteerStage) Tick(now int64) {
 		ct.mispredict.Inc()
 	}
 
-	// Flush speculative front-end state. The PQ is intentionally not
-	// flushed: its entries are prefetch hints, not control flow.
-	co.ftq.Flush()
+	// Flush speculative front-end state, recycling the flushed entries
+	// (none has episodes: episodes only exist once an entry leaves the FTQ
+	// for the IFU). The PQ is intentionally not flushed: its entries are
+	// prefetch hints, not control flow.
+	for e := co.ftq.Pop(); e != nil; e = co.ftq.Pop() {
+		co.iag.Recycle(e)
+	}
 	if invariant.Enabled && co.ftq.Len() != 0 {
 		invariant.Failf("resteer: FTQ holds %d entries after flush", co.ftq.Len())
 	}
-	if co.ifuEntry != nil && co.ifuEntry.WrongPath {
+	if e := co.ifuEntry; e != nil && e.WrongPath {
+		// Not yet delivered, so no uop references its episodes.
+		for _, ep := range e.Episodes {
+			co.releaseEpisode(ep)
+		}
+		co.iag.Recycle(e)
 		co.ifuEntry = nil
 	}
-	// Drop wrong-path uops from the fetch→decode latch.
-	co.decodeQ.Filter(func(u *frontend.Uop) bool { return !u.WrongPath })
-	co.rob.SquashWrongPath()
+	// Drop wrong-path uops from the fetch→decode latch and the ROB,
+	// recycling their storage.
+	co.decodeQ.Filter(func(u *frontend.Uop) bool {
+		if u.WrongPath {
+			co.releaseUop(u)
+			return false
+		}
+		return true
+	})
+	co.rob.SquashWrongPath(co.releaseUop)
 
 	co.iag.Resteer()
 	co.iagResumeAt = now + int64(co.cfg.ResteerPenalty)
@@ -55,4 +72,17 @@ func (s *resteerStage) Tick(now int64) {
 	co.shadowTrigger = ev.trigger
 	co.shadowWasReturn = ev.cause == frontend.ResteerReturn
 	co.shadowLeft = co.cfg.ResteerShadowBlocks
+}
+
+// NextEventAt implements pipeline.Sleeper: the stage acts only at the
+// pending redirect's resolution cycle.
+func (s *resteerStage) NextEventAt(now int64) int64 {
+	co := s.co
+	if !co.hasResteer {
+		return pipeline.Never
+	}
+	if co.pendingResteer.at <= now {
+		return now + 1
+	}
+	return co.pendingResteer.at
 }

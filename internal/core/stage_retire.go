@@ -5,6 +5,7 @@ import (
 	"pdip/internal/invariant"
 	"pdip/internal/isa"
 	"pdip/internal/metrics"
+	"pdip/internal/pipeline"
 	"pdip/internal/prefetch"
 )
 
@@ -25,7 +26,23 @@ func (s *retireStage) Tick(now int64) {
 	co.retireBuf = co.rob.Retire(now, co.cfg.RetireWidth, co.retireBuf[:0])
 	for _, u := range co.retireBuf {
 		s.retireUop(u)
+		co.releaseUop(u)
 	}
+}
+
+// NextEventAt implements pipeline.Sleeper: retirement next acts when the
+// ROB head's execution completes (or immediately, when this cycle's
+// retire was width-capped with the head already done). An empty ROB
+// sleeps until decode pushes — decode's own bound covers that.
+func (s *retireStage) NextEventAt(now int64) int64 {
+	u := s.co.rob.Head()
+	if u == nil {
+		return pipeline.Never
+	}
+	if u.DoneAt <= now {
+		return now + 1
+	}
+	return u.DoneAt
 }
 
 func (s *retireStage) retireUop(u *frontend.Uop) {

@@ -138,17 +138,18 @@ func TestResteerStageSquashesWrongPath(t *testing.T) {
 	co.decodeQ.Push(&frontend.Uop{Seq: 3, WrongPath: true})
 	co.rob.Push(&frontend.Uop{Seq: 4})
 	co.rob.Push(&frontend.Uop{Seq: 5, WrongPath: true})
-	co.pendingResteer = &resteerEvent{
+	co.pendingResteer = resteerEvent{
 		at:      10,
 		trigger: isa.Addr(0x40),
 		cause:   frontend.ResteerMispredict,
 	}
+	co.hasResteer = true
 	rs.Tick(9) // not due yet
 	if co.decodeQ.Len() != 3 {
 		t.Fatal("resteer applied before its resolution cycle")
 	}
 	rs.Tick(10)
-	if co.pendingResteer != nil {
+	if co.hasResteer {
 		t.Fatal("resteer not consumed")
 	}
 	if co.decodeQ.Len() != 1 {
@@ -174,7 +175,9 @@ func TestResteerStageSquashesWrongPath(t *testing.T) {
 func TestRetireStageRetiresAndCounts(t *testing.T) {
 	co := stageCore(t)
 	rs := stageOf(t, co, "retire")
-	ep := &frontend.LineEpisode{Line: isa.Addr(0x1000), Missed: true, Starve: 5}
+	// Refs mirrors the pool contract: one live reference per uop built
+	// below, so retire's release path sees a consistent refcount.
+	ep := &frontend.LineEpisode{Line: isa.Addr(0x1000), Missed: true, Starve: 5, Refs: 2}
 	co.rob.Push(&frontend.Uop{Seq: 1, DoneAt: 3, Ep: ep})
 	co.rob.Push(&frontend.Uop{Seq: 2, DoneAt: 3, Ep: ep})
 	rs.Tick(2) // head not done

@@ -68,6 +68,10 @@ type LineEpisode struct {
 	ResteerTrigger isa.Addr
 	// ResteerWasReturn marks return-caused resteer shadows.
 	ResteerWasReturn bool
+	// Refs counts live Uop references to this episode so the core can
+	// recycle episode storage once the last referencing uop retires or is
+	// squashed. It is allocator bookkeeping, not simulated state.
+	Refs int32
 }
 
 // Uop is one instruction flowing through decode, the ROB, and retire.
@@ -231,6 +235,13 @@ type IAG struct {
 	// pendingMispredict blocks further correct-path tracking until the
 	// current mispredict resolves.
 	pendingMispredict bool
+
+	// free is the FTQ-entry recycling pool and wrongFree the retired
+	// wrong-path walker whose storage the next fork reuses. Both are
+	// allocator bookkeeping: a recycled entry is bit-identical to a fresh
+	// one, and ForkInto reproduces Fork's stream exactly.
+	free      []*FTQEntry
+	wrongFree *trace.Walker
 }
 
 // NewIAG builds an IAG over the oracle walker.
@@ -249,8 +260,38 @@ func (g *IAG) OnWrongPath() bool { return g.wrong != nil }
 // already positioned at the resteer target (it stopped advancing when the
 // mispredict was detected), so the wrong-path walker is simply dropped.
 func (g *IAG) Resteer() {
+	if g.wrong != nil {
+		g.wrongFree = g.wrong
+	}
 	g.wrong = nil
 	g.pendingMispredict = false
+}
+
+// Recycle returns a fully drained FTQ entry to the IAG's pool so a later
+// NextEntry reuses its storage. The caller must drop every reference to
+// the entry and its slices first.
+func (g *IAG) Recycle(e *FTQEntry) {
+	if e == nil {
+		return
+	}
+	g.free = append(g.free, e)
+}
+
+// newEntry pops a pooled entry (resetting it field-for-field to the zero
+// entry while keeping slice backing) or allocates a fresh one.
+func (g *IAG) newEntry(wrongPath bool) *FTQEntry {
+	if n := len(g.free); n > 0 {
+		e := g.free[n-1]
+		g.free = g.free[:n-1]
+		*e = FTQEntry{
+			Insts:     e.Insts[:0],
+			Lines:     e.Lines[:0],
+			Episodes:  e.Episodes[:0],
+			WrongPath: wrongPath,
+		}
+		return e
+	}
+	return &FTQEntry{WrongPath: wrongPath}
 }
 
 // NextEntry assembles the next FTQ entry from the predicted stream: it
@@ -262,7 +303,7 @@ func (g *IAG) NextEntry() *FTQEntry {
 	if g.wrong != nil {
 		w = g.wrong
 	}
-	e := &FTQEntry{WrongPath: g.wrong != nil}
+	e := g.newEntry(g.wrong != nil)
 
 	for len(e.Insts) < g.maxEntryInsts {
 		in := w.Next()
@@ -320,6 +361,7 @@ func (g *IAG) NextEntry() *FTQEntry {
 		e.Cause = ResteerMispredict
 	}
 	g.pendingMispredict = true
-	g.wrong = g.oracle.Fork(predictedNext)
+	g.wrong = g.oracle.ForkInto(g.wrongFree, predictedNext)
+	g.wrongFree = nil
 	return e
 }

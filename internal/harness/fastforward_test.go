@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFastForwardBitIdentical runs every golden-grid spec twice — once
+// with idle-cycle fast-forward (the default) and once stepping every cycle
+// (NoFastForward) — and diffs the full metric snapshots bit-exactly. The
+// fast-forward contract is that a skipped window contains no observable
+// event, so ANY difference (a cycle count, a starvation attribution, a
+// histogram bucket) means some stage's NextEventAt bound was too late or
+// its AccountStall bulk bookkeeping diverged from per-cycle stepping.
+func TestFastForwardBitIdentical(t *testing.T) {
+	for _, spec := range goldenSpecs() {
+		spec := spec
+		t.Run(spec.Key(), func(t *testing.T) {
+			t.Parallel()
+			ff, err := Execute(spec)
+			if err != nil {
+				t.Fatalf("fast-forward run: %v", err)
+			}
+			slow := spec
+			slow.NoFastForward = true
+			cy, err := Execute(slow)
+			if err != nil {
+				t.Fatalf("cycle-by-cycle run: %v", err)
+			}
+			if diff := ff.Metrics.Diff(cy.Metrics); len(diff) > 0 {
+				show := diff
+				if len(show) > 20 {
+					show = show[:20]
+				}
+				t.Errorf("%d metrics differ between fast-forward and cycle-by-cycle stepping:\n  %s",
+					len(diff), strings.Join(show, "\n  "))
+			}
+		})
+	}
+}

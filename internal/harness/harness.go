@@ -30,6 +30,9 @@ type Options struct {
 	Parallelism int
 	// CollectSets enables FEC/coverage set collection on every run.
 	CollectSets bool
+	// NoFastForward disables idle-cycle fast-forward on every run (see
+	// RunSpec.NoFastForward).
+	NoFastForward bool
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -69,6 +72,10 @@ type RunSpec struct {
 	// SampleEvery > 0 records a full metrics snapshot every that many
 	// measured instructions (IPC/MPKI trajectories).
 	SampleEvery uint64
+	// NoFastForward disables idle-cycle fast-forward for this run (the
+	// core.Config flag of the same name); metrics must be bit-identical
+	// either way, and TestFastForwardBitIdentical holds the simulator to it.
+	NoFastForward bool
 }
 
 // Key renders the spec as a stable string ("bench/policy[@btbK]"), used
@@ -199,6 +206,7 @@ func Execute(spec RunSpec) (*RunResult, error) {
 		c.BPU.BTBEntries = spec.BTBEntries
 	}
 	c.CollectSets = spec.CollectSets
+	c.NoFastForward = spec.NoFastForward
 	pol.Apply(&c)
 
 	co, err := core.New(prog, c)
@@ -286,10 +294,11 @@ func VerifyDeterminism(spec RunSpec) error {
 // spec builds a RunSpec from options.
 func (o Options) spec(bench, pol string) RunSpec {
 	return RunSpec{
-		Benchmark:   bench,
-		Policy:      pol,
-		Warmup:      o.Warmup,
-		Measure:     o.Measure,
-		CollectSets: o.CollectSets,
+		Benchmark:     bench,
+		Policy:        pol,
+		Warmup:        o.Warmup,
+		Measure:       o.Measure,
+		CollectSets:   o.CollectSets,
+		NoFastForward: o.NoFastForward,
 	}
 }

@@ -1,0 +1,26 @@
+package bad
+
+import "time"
+
+// sleeper mimics a pipeline stage implementing the fast-forward Sleeper
+// interface. NextEventAt bounds are replayed bit-exactly, so an
+// implementation that consults the host clock silently breaks the
+// fast-forward contract: this corpus entry pins that the determinism
+// analyzer catches wall-clock reads inside NextEventAt specifically.
+type sleeper struct {
+	deadline int64
+}
+
+// NextEventAt must derive its bound from simulated state only.
+func (s *sleeper) NextEventAt(now int64) int64 {
+	if time.Now().UnixNano() > s.deadline { // want:determinism
+		return now + 1
+	}
+	return s.deadline
+}
+
+// AccountStall shows the companion interface is covered too: bulk stall
+// bookkeeping may not time itself against the host.
+func (s *sleeper) AccountStall(now, n int64) {
+	s.deadline = now + n + time.Since(time.Unix(0, 0)).Nanoseconds() // want:determinism
+}

@@ -61,7 +61,11 @@ const (
 	DropMSHR
 )
 
-// Req is one message sent into a port.
+// Req is one message sent into a port. Req is passed and replied to by
+// value throughout the chain — requests and results never escape to the
+// heap, which keeps every hierarchy access allocation-free. Additions to
+// Req must preserve that: no pointers into caller storage that would force
+// an escape, no per-request slices.
 type Req struct {
 	// Op selects the request kind.
 	Op Op
@@ -142,8 +146,12 @@ func (p *levelPort) Send(req Req) AccessResult {
 // prefetch-class fills are dropped when the line is present or headroom
 // (minus the demand reserve) is exhausted.
 type l1Port struct {
-	c     *cache.Cache
-	down  Port
+	c *cache.Cache
+	// down is the concrete shared L2 port rather than a Port interface:
+	// the L1→L2 hop is the hottest edge in the chain and the hierarchy
+	// wiring is fixed (see New), so there is nothing to substitute and the
+	// direct call devirtualises every miss-path send.
+	down  *levelPort
 	class cache.Class
 }
 

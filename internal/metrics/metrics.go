@@ -87,6 +87,27 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[len(h.bounds)]++
 }
 
+// ObserveN records n identical samples in one call — the bulk form behind
+// idle-cycle fast-forward, where a per-cycle observation repeats unchanged
+// across a skipped stall window. For integer-valued v (every per-cycle
+// occupancy metric) the accumulated sum is bit-identical to calling
+// Observe(v) n times, because v*n and the repeated additions are both
+// exact in float64 below 2^53.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.total += n
+	h.sum += v * float64(n)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i] += n
+			return
+		}
+	}
+	h.counts[len(h.bounds)] += n
+}
+
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
 

@@ -18,6 +18,17 @@ type Latch[T any] struct {
 // Len returns the number of buffered entries.
 func (l *Latch[T]) Len() int { return len(l.buf) - l.head }
 
+// Grow pre-sizes the latch's backing array to hold at least n entries, so
+// a latch whose occupancy is bounded by pipeline rules (decode's depth
+// check) never reallocates on the hot path. A no-op when capacity already
+// suffices or the latch is mid-use.
+func (l *Latch[T]) Grow(n int) {
+	if cap(l.buf) >= n || len(l.buf) > 0 || l.head > 0 {
+		return
+	}
+	l.buf = make([]T, 0, n)
+}
+
 // Push appends v at the tail.
 func (l *Latch[T]) Push(v T) {
 	l.buf = append(l.buf, v)

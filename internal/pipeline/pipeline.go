@@ -40,3 +40,60 @@ func (p *Pipeline) Tick(now int64) {
 
 // Stages returns the ordered stage list (diagnostics and tests).
 func (p *Pipeline) Stages() []Stage { return p.stages }
+
+// Never is the NextEventAt sentinel meaning "no self-originated event":
+// the stage cannot act, or change any observable behaviour (including the
+// counters it would bump on a stalled cycle), until some other stage acts
+// first. A stage returning Never delegates its wake-up to the bounds of
+// the stages it depends on.
+const Never = int64(^uint64(0) >> 1)
+
+// Sleeper is implemented by stages that can lower-bound their next event
+// for idle-cycle fast-forward. NextEventAt(now) returns the earliest cycle
+// strictly after now at which the stage could do state-changing work or at
+// which its per-cycle bookkeeping (stall attribution, top-down slots)
+// could change classification — or Never. The bound must be conservative:
+// returning too-early cycles only costs speed; returning a late bound
+// breaks bit-identical replay. Implementations are part of the simulated
+// machine and must derive the bound from simulated state only (never the
+// host clock; see the simlint determinism analyzer).
+type Sleeper interface {
+	NextEventAt(now int64) int64
+}
+
+// StallAccounter is implemented by stages that do per-cycle bookkeeping
+// even when stalled (e.g. decode's starvation attribution). AccountStall
+// applies, in one bulk update, the bookkeeping the stage would have done
+// on each of the n stalled cycles now+1 .. now+n — the driver guarantees
+// (via NextEventAt) that the stage's behaviour is identical on every
+// cycle of that window.
+type StallAccounter interface {
+	AccountStall(now int64, n int64)
+}
+
+// NextEventAt returns the earliest NextEventAt bound over every stage, or
+// Never when all stages are event-free. Stages that do not implement
+// Sleeper cannot be bounded and pin the result to now+1 (no skip).
+func (p *Pipeline) NextEventAt(now int64) int64 {
+	next := Never
+	for _, s := range p.stages {
+		sl, ok := s.(Sleeper)
+		if !ok {
+			return now + 1
+		}
+		if t := sl.NextEventAt(now); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// AccountStall applies n stalled cycles of bulk bookkeeping to every
+// stage that does any (see StallAccounter).
+func (p *Pipeline) AccountStall(now int64, n int64) {
+	for _, s := range p.stages {
+		if a, ok := s.(StallAccounter); ok {
+			a.AccountStall(now, n)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the simulator front-ends. Both cmd/pdipsim and cmd/experiments expose the
+// same pair of flags; the profiles they write feed `go tool pprof` and are
+// how the hot-path work in this repo was found and verified (see DESIGN.md,
+// "Performance model").
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile to
+// memPath (when non-empty). The stop function must run after the measured
+// work and before process exit; defer it from main.
+//
+// The heap profile is taken after a forced GC so it reflects live steady-
+// state memory, not transient garbage — the number the zero-alloc work in
+// this repo targets.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			runtime.GC() // capture live objects, not yet-uncollected garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

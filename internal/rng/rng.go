@@ -28,6 +28,18 @@ func (r *RNG) Fork(salt uint64) *RNG {
 	return New(mix(r.state ^ mix(salt)))
 }
 
+// ForkInto behaves exactly like Fork but reseeds dst in place when it is
+// non-nil, so hot paths that fork repeatedly (wrong-path walks) can reuse
+// one generator's storage. The produced stream is identical to Fork's.
+func (r *RNG) ForkInto(dst *RNG, salt uint64) *RNG {
+	if dst == nil {
+		return r.Fork(salt)
+	}
+	dst.state = mix(r.state ^ mix(salt))
+	dst.Uint64() // same warm-up New applies
+	return dst
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -94,6 +94,27 @@ func (w *Walker) Fork(pc isa.Addr) *Walker {
 	return f
 }
 
+// ForkInto behaves exactly like Fork but reuses dst's storage (call-stack
+// backing and RNG) when dst is non-nil, so the front-end can recycle one
+// wrong-path walker across mispredicts instead of allocating per fork. The
+// produced instruction stream is identical to Fork's.
+func (w *Walker) ForkInto(dst *Walker, pc isa.Addr) *Walker {
+	if dst == nil || dst == w {
+		return w.Fork(pc)
+	}
+	r := w.r.ForkInto(dst.r, uint64(pc))
+	stack := append(dst.stack[:0], w.stack...)
+	*dst = Walker{
+		prog:           w.prog,
+		r:              r,
+		stack:          stack,
+		dispatchCenter: w.dispatchCenter,
+		wrongPath:      true,
+	}
+	dst.jumpTo(pc)
+	return dst
+}
+
 // Count returns the number of instructions produced so far.
 func (w *Walker) Count() uint64 { return w.count }
 
