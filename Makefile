@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build fmt-check vet test race determinism golden check bench clean
-.PHONY: lint check-invariant fuzz bench-track perf-smoke
+.PHONY: lint check-invariant fuzz bench-track bench-diff perf-smoke
 
 all: build
 
@@ -73,6 +73,16 @@ BENCHTIME ?= 0.5s
 bench-track:
 	$(GO) test -run '^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem . \
 		| $(GO) run ./cmd/benchtrack -o BENCH_simulator.json
+
+# Perf-regression gate: rerun the benchmark suite and compare ns/op
+# against the committed BENCH_simulator.json, failing when any benchmark
+# regressed beyond the threshold (default 15% — generous enough for CI
+# machine noise, tight enough to catch a real slowdown). After an
+# intentional perf change, regenerate the snapshot with `make bench-track`.
+BENCH_THRESHOLD ?= 0.15
+bench-diff:
+	$(GO) test -run '^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchtrack -diff BENCH_simulator.json -threshold $(BENCH_THRESHOLD)
 
 # Zero-alloc gate: every hot-path micro benchmark must report 0 allocs/op
 # in steady state. The benchtime is iteration-pinned and large enough that

@@ -9,11 +9,13 @@
 package pdip
 
 import (
+	"bytes"
 	"testing"
 
 	"pdip/internal/bpu"
 	"pdip/internal/cache"
 	"pdip/internal/cfg"
+	"pdip/internal/checkpoint"
 	"pdip/internal/core"
 	"pdip/internal/isa"
 	"pdip/internal/mem"
@@ -299,6 +301,80 @@ func BenchmarkMicroMSHRPrune(b *testing.B) {
 		c.Fill(addr(uint64(i%1024)*64), now, now+20, cache.FillOpts{})
 		c.MSHRFree(now + 2)
 		c.EarliestMSHRFree(now + 2)
+	}
+}
+
+// --- checkpoint benches (EXPERIMENTS.md warm-state reuse table) ---
+
+// BenchmarkCheckpointSaveRestore measures one full snapshot round trip of
+// a warmed simulator: capture, serialize (gzip+JSON, the on-disk format),
+// deserialize, and restore into a fresh core — the per-fork overhead the
+// warm-state layer pays instead of re-simulating the warmup window.
+func BenchmarkCheckpointSaveRestore(b *testing.B) {
+	prof, err := workload.ByName("cassandra")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := prof.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.DefaultConfig()
+	c.Seed = 1
+	c.Prefetcher = ipdip.New(ipdip.DefaultConfig())
+	co := core.MustNew(prog, c)
+	if err := co.Run(60_000); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := co.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		if err := checkpoint.Encode(&buf, st); err != nil {
+			b.Fatal(err)
+		}
+		st2, err := checkpoint.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cf := c
+		cf.Prefetcher = ipdip.New(ipdip.DefaultConfig())
+		if _, err := core.NewFromSnapshot(prog, cf, st2); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(buf.Len()), "ckpt-bytes")
+		}
+	}
+}
+
+// BenchmarkGridWarmupReuse measures a grid of specs that share one warm
+// tuple through the runner's warm-state layer: one simulated warmup plus
+// one snapshot fork per cell, against cellCount full warmups from scratch
+// before this layer existed. The cells differ only in SampleEvery (set
+// beyond the measure budget so no samples are actually recorded), which
+// makes them distinct specs with identical simulated work.
+func BenchmarkGridWarmupReuse(b *testing.B) {
+	const cells = 6
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(0)
+		specs := make([]RunSpec, cells)
+		for j := range specs {
+			specs[j] = RunSpec{
+				Benchmark: "kafka", Policy: "pdip44",
+				Warmup: 60_000, Measure: 40_000,
+				SampleEvery: 1<<40 + uint64(j),
+			}
+		}
+		if _, err := r.RunAll(specs); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -11,8 +11,16 @@
 //
 // Usage:
 //
+// With -diff, benchtrack instead compares the freshly parsed results
+// against a committed snapshot and exits nonzero when any benchmark's
+// ns/op regressed beyond -threshold (default 15%) — the CI guard that a
+// perf-sensitive change cannot silently slow the simulator down.
+//
+// Usage:
+//
 //	go test -bench=. -benchmem | benchtrack -o BENCH_simulator.json
 //	go test -bench=Micro -benchmem | benchtrack        # JSON to stdout
+//	go test -bench=. -benchmem | benchtrack -diff BENCH_simulator.json
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -37,6 +46,8 @@ type Entry struct {
 
 func main() {
 	out := flag.String("o", "", "output path for the JSON snapshot (default: stdout)")
+	diff := flag.String("diff", "", "compare parsed results against this committed snapshot instead of writing one; exit nonzero on ns/op regression beyond -threshold")
+	threshold := flag.Float64("threshold", 0.15, "with -diff: maximum tolerated fractional ns/op regression (0.15 = 15%)")
 	flag.Parse()
 
 	entries, err := parse(os.Stdin)
@@ -47,6 +58,14 @@ func main() {
 	if len(entries) == 0 {
 		fmt.Fprintln(os.Stderr, "benchtrack: no benchmark lines on stdin (run with `go test -bench=... -benchmem | benchtrack`)")
 		os.Exit(1)
+	}
+
+	if *diff != "" {
+		if err := diffSnapshot(entries, *diff, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtrack:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	w := os.Stdout
@@ -73,6 +92,67 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "benchtrack: wrote %d benchmarks to %s\n", len(entries), *out)
 	}
+}
+
+// diffSnapshot compares fresh results against the snapshot at path and
+// returns an error when any benchmark present in both regressed in ns/op
+// by more than threshold. Benchmarks only on one side are reported but
+// never fail the gate (new benchmarks land with the PR that adds them;
+// removed ones disappear with theirs) — and timing noise in either
+// direction below the threshold is reported as ok.
+func diffSnapshot(entries map[string]Entry, path string, threshold float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var base map[string]Entry
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	for _, name := range names {
+		cur := entries[name]
+		old, ok := base[name]
+		if !ok {
+			fmt.Printf("%-48s %12.0f ns/op  (new, not in %s)\n", name, cur.NsPerOp, path)
+			continue
+		}
+		if old.NsPerOp <= 0 {
+			continue
+		}
+		delta := (cur.NsPerOp - old.NsPerOp) / old.NsPerOp
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			regressions = append(regressions, name)
+		}
+		fmt.Printf("%-48s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, old.NsPerOp, cur.NsPerOp, delta*100, status)
+	}
+	baseNames := make([]string, 0, len(base))
+	for name := range base {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		if _, ok := entries[name]; !ok {
+			fmt.Printf("%-48s (in %s but not in this run)\n", name, path)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% ns/op: %s",
+			len(regressions), threshold*100, strings.Join(regressions, ", "))
+	}
+	fmt.Printf("benchtrack: no ns/op regression beyond %.0f%% across %d benchmarks\n", threshold*100, len(names))
+	return nil
 }
 
 // parse extracts benchmark result lines from r. The Go testing package

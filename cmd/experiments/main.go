@@ -36,6 +36,7 @@ func main() {
 		listB    = flag.Bool("list-benchmarks", false, "print Table 2 benchmark registry and exit")
 		listP    = flag.Bool("list-policies", false, "print Table 3 policy registry and exit")
 		noFF     = flag.Bool("no-fast-forward", false, "step every cycle instead of fast-forwarding idle windows (metrics are bit-identical either way)")
+		ckDir    = flag.String("checkpoint-dir", "", "cache warm simulator states in this directory (content-addressed), so repeat invocations skip warmup")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering every run to this path")
 		memProf  = flag.String("memprofile", "", "write a post-experiment heap profile to this path")
 	)
@@ -93,7 +94,7 @@ func main() {
 	o.Parallelism = *par
 	o.NoFastForward = *noFF
 
-	runner := pdip.NewRunner(*par)
+	runner := pdip.NewRunnerWithCheckpoints(*par, *ckDir)
 	if *run == "all" {
 		for _, e := range pdip.Experiments() {
 			out, err := e.Run(runner, o)
@@ -105,6 +106,7 @@ func main() {
 			fmt.Println(out)
 		}
 		dumpMetrics(runner, *metrics)
+		reportCheckpoints(runner)
 		return
 	}
 	e, err := pdip.ExperimentByID(*run)
@@ -120,6 +122,20 @@ func main() {
 	fmt.Println("== " + e.Title + " ==")
 	fmt.Println(out)
 	dumpMetrics(runner, *metrics)
+	reportCheckpoints(runner)
+}
+
+// reportCheckpoints summarises warm-state reuse on stderr: how many
+// warmups were actually simulated vs served from the in-memory or on-disk
+// checkpoint caches, and how many runs forked a warm snapshot.
+func reportCheckpoints(runner *pdip.Runner) {
+	s := runner.CheckpointStats()
+	if s.Forks == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"experiments: checkpoints: %d forked runs from %d simulated warmups (%d in-memory hits, %d disk hits, %d disk stores)\n",
+		s.Forks, s.WarmupsExecuted, s.MemoryHits, s.DiskHits, s.DiskStores)
 }
 
 // dumpMetrics writes every memoised run's full metric snapshot to path as

@@ -35,6 +35,7 @@ func main() {
 		listP    = flag.Bool("list-policies", false, "print Table 3 policy registry and exit")
 		printCfg = flag.Bool("print-config", false, "print the Table 1 baseline configuration and exit")
 		noFF     = flag.Bool("no-fast-forward", false, "step every cycle instead of fast-forwarding idle windows (metrics are bit-identical either way)")
+		ckDir    = flag.String("checkpoint-dir", "", "cache the warm simulator state in this directory (content-addressed), so repeat invocations skip warmup")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile for the run to this path")
 		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this path")
 	)
@@ -76,7 +77,7 @@ func main() {
 		return
 	}
 
-	res, err := pdip.Run(pdip.RunSpec{
+	spec := pdip.RunSpec{
 		Benchmark:     *bench,
 		Policy:        *pol,
 		Warmup:        *warmup,
@@ -84,7 +85,15 @@ func main() {
 		BTBEntries:    *btb,
 		SampleEvery:   *sampleN,
 		NoFastForward: *noFF,
-	})
+	}
+	var res *pdip.RunResult
+	if *ckDir != "" {
+		// Route through the warm-state layer so the warmup checkpoint is
+		// loaded from (or stored into) the cross-process cache.
+		res, err = pdip.NewRunnerWithCheckpoints(1, *ckDir).Run(spec)
+	} else {
+		res, err = pdip.Run(spec)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdipsim:", err)
 		os.Exit(1)

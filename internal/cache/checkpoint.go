@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"fmt"
+
+	"pdip/internal/checkpoint"
+)
+
+// CaptureCheckpoint captures every line's metadata (tag, LRU stamp,
+// EMISSARY P-bit, in-flight deadline), the MSHR file, the replacement
+// clock, and the level's stats. Geometry (set count, ways) is recorded so
+// a restore into a differently configured cache fails loudly. Lines are
+// emitted into the columnar layout of checkpoint.CacheState, set-major.
+func (c *Cache) CaptureCheckpoint() checkpoint.CacheState {
+	n := len(c.sets) * c.cfg.Ways
+	st := checkpoint.CacheState{
+		Sets:        len(c.sets),
+		Ways:        c.cfg.Ways,
+		Tag:         make([]uint64, 0, n),
+		LRU:         make([]uint32, 0, n),
+		ReadyAt:     make([]int64, 0, n),
+		Valid:       checkpoint.NewBitmask(n),
+		Priority:    checkpoint.NewBitmask(n),
+		Prefetched:  checkpoint.NewBitmask(n),
+		Tick:        c.tick,
+		Inflight:    append([]int64(nil), c.inflight...),
+		InflightMin: c.inflightMin,
+		Stats:       checkpoint.CacheStats(c.Stats),
+	}
+	k := 0
+	for _, set := range c.sets {
+		for i := range set {
+			l := &set[i]
+			st.Tag = append(st.Tag, l.tag)
+			st.LRU = append(st.LRU, l.lru)
+			st.ReadyAt = append(st.ReadyAt, l.readyAt)
+			if l.valid {
+				st.Valid.Set(k)
+			}
+			if l.priority {
+				st.Priority.Set(k)
+			}
+			if l.prefetched {
+				st.Prefetched.Set(k)
+			}
+			k++
+		}
+	}
+	return st
+}
+
+// RestoreCheckpoint overwrites the cache's state from a captured state.
+// The receiver must have been built with the same geometry. Slices from
+// st are copied, never aliased, so one checkpoint can restore many caches
+// concurrently.
+func (c *Cache) RestoreCheckpoint(st checkpoint.CacheState) error {
+	if st.Sets != len(c.sets) || st.Ways != c.cfg.Ways {
+		return fmt.Errorf("cache %s: checkpoint geometry %dx%d, cache is %dx%d",
+			c.cfg.Name, st.Sets, st.Ways, len(c.sets), c.cfg.Ways)
+	}
+	n := st.Sets * st.Ways
+	if len(st.Tag) != n || len(st.LRU) != n || len(st.ReadyAt) != n {
+		return fmt.Errorf("cache %s: checkpoint has %d/%d/%d tag/lru/readyAt entries, want %d",
+			c.cfg.Name, len(st.Tag), len(st.LRU), len(st.ReadyAt), n)
+	}
+	if st.Valid.Len() < n || st.Priority.Len() < n || st.Prefetched.Len() < n {
+		return fmt.Errorf("cache %s: checkpoint bitmask shorter than %d lines", c.cfg.Name, n)
+	}
+	k := 0
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = Line{
+				valid:      st.Valid.Get(k),
+				tag:        st.Tag[k],
+				lru:        st.LRU[k],
+				readyAt:    st.ReadyAt[k],
+				priority:   st.Priority.Get(k),
+				prefetched: st.Prefetched.Get(k),
+			}
+			k++
+		}
+	}
+	c.tick = st.Tick
+	c.inflight = append(c.inflight[:0], st.Inflight...)
+	c.inflightMin = st.InflightMin
+	c.Stats = Stats(st.Stats)
+	return nil
+}

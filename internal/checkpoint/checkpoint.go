@@ -1,0 +1,607 @@
+// Package checkpoint defines the versioned, deterministic serialization
+// format for the complete simulator state: every microarchitectural
+// structure a warmed core carries — cache tags, LRU state, EMISSARY
+// P-bits, MSHR deadlines, TAGE/ITTAGE folded histories, BTB, RAS, FTQ,
+// PQ, prefetcher tables, trace-walker positions, rng streams, and the
+// metrics registry.
+//
+// The package is a leaf: it imports only the ISA vocabulary and the
+// standard library, so every component package can depend on it to
+// implement its own Capture/Restore pair without cycles. State structs
+// deliberately contain no Go maps (map-backed component state is captured
+// as key-sorted slices): the wire encoding must be byte-identical for
+// identical simulator state, because the on-disk cache is content
+// addressed and the bit-identity tests diff restored runs against
+// from-scratch runs.
+//
+// Two uses share the format:
+//
+//   - In-memory fork: a *State is a plain value; core.NewFromSnapshot
+//     builds a fresh core and copies the state in. One snapshot can be
+//     forked concurrently — Restore implementations only read the state
+//     and never alias its slices.
+//   - On-disk cache: Encode/Decode wrap the state in gzip'd JSON with a
+//     format version, and Save/Load manage a content-addressed directory
+//     keyed by a config+workload hash (see Key).
+package checkpoint
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pdip/internal/isa"
+)
+
+// FormatVersion identifies the state layout. Bump it whenever a captured
+// struct changes shape or meaning — stale on-disk checkpoints then miss
+// (they are keyed by version) instead of restoring garbage.
+const FormatVersion = 1
+
+// State is the complete simulator state at one cycle boundary.
+type State struct {
+	// Version is FormatVersion at capture time.
+	Version int
+
+	Core    CoreState
+	Metrics RegistryState
+	Mem     HierarchyState
+	BPU     BPUState
+	IAG     IAGState
+
+	// Episodes is the deduplicated table of live fetch episodes; FTQ/IFU
+	// entries and uops reference it by index.
+	Episodes []EpisodeState
+	// FTQ holds the queued fetch-target entries, oldest first. Queued
+	// entries have no episodes (episodes exist only once an entry leaves
+	// the FTQ for the IFU).
+	FTQ []FTQEntryState
+	// IFU is the entry mid-fetch in the instruction fetch unit, if any.
+	IFU *FTQEntryState
+	// DecodeQ is the fetch→decode latch contents, oldest first.
+	DecodeQ []UopState
+	ROB     ROBState
+	PQ      QueueState
+
+	Prefetcher PrefetcherState
+}
+
+// CoreState holds the core's own scalar and set state (cycle clock,
+// resteer machinery, EMISSARY promotion set, FEC bookkeeping, rng
+// streams).
+type CoreState struct {
+	Now     int64
+	Seq     uint64
+	Retired uint64
+
+	HasResteer     bool
+	ResteerAt      int64
+	ResteerTarget  isa.Addr
+	ResteerTrigger isa.Addr
+	ResteerCause   uint8
+
+	IAGResumeAt     int64
+	ShadowTrigger   isa.Addr
+	ShadowWasReturn bool
+	ShadowLeft      int
+	LastTakenBlock  isa.Addr
+
+	// Promoted and FECEver are architectural map state, captured as
+	// key-sorted slices.
+	Promoted []isa.Addr
+	FECEver  []isa.Addr
+
+	// Coverage diagnostics (CollectSets runs only; nil otherwise).
+	FECSet    []isa.Addr
+	PFSet     []PFSetEntry
+	FECReqAge [4]uint64
+	FECHolds  [3]uint64
+	FECTrace  []FECInstanceState
+
+	SampleEvery uint64
+
+	DataRng  uint64
+	PromoRng uint64
+}
+
+// PFSetEntry is one (line → last-request-cycle) pair of the prefetch
+// coverage set, sorted by line.
+type PFSetEntry struct {
+	Line  isa.Addr
+	Cycle int64
+}
+
+// FECInstanceState is one sampled FEC diagnostic instance.
+type FECInstanceState struct {
+	Line    isa.Addr
+	Trigger isa.Addr
+	Starve  int
+	Served  uint8
+}
+
+// RegistryState captures the owned values of a metrics registry in sorted
+// name order. Bound counter/gauge functions are not captured — their
+// backing state lives in (and is restored with) the owning components.
+type RegistryState struct {
+	Counters   []NamedCounter
+	Gauges     []NamedGauge
+	Histograms []HistogramState
+}
+
+// NamedCounter is one owned counter value.
+type NamedCounter struct {
+	Name  string
+	Value uint64
+}
+
+// NamedGauge is one owned gauge value.
+type NamedGauge struct {
+	Name  string
+	Value float64
+}
+
+// HistogramState is one owned histogram's buckets (bounds are structural,
+// re-created at registration, and only checked at restore).
+type HistogramState struct {
+	Name   string
+	Counts []uint64
+	Total  uint64
+	Sum    float64
+}
+
+// HierarchyState captures the four cache levels. Port wiring is stateless
+// and rebuilt by construction.
+type HierarchyState struct {
+	L1I, L1D, L2, L3 CacheState
+}
+
+// CacheState is one set-associative cache level: every line's metadata
+// plus the MSHR file and the level's stats.
+//
+// Line metadata is stored columnar — one parallel array per field,
+// indexed set-major (set*Ways + way) — rather than as an array of
+// per-line structs. The cache sections dominate the encoded state (L2
+// and L3 carry tens of thousands of lines), and the columnar layout
+// both shrinks them (each field name appears once in the JSON, not once
+// per line; the three bool columns pack into base64 bitmasks) and
+// decodes as primitive-array scans instead of per-line object parses.
+type CacheState struct {
+	// Sets and Ways pin the geometry so a restore into a differently
+	// configured cache fails loudly.
+	Sets, Ways int
+	// Tag, LRU, and ReadyAt are per-line columns (Sets×Ways entries).
+	Tag     []uint64
+	LRU     []uint32
+	ReadyAt []int64
+	// Valid, Priority (the EMISSARY P-bit), and Prefetched are per-line
+	// bool columns packed as bitmasks.
+	Valid, Priority, Prefetched Bitmask
+	Tick                        uint32
+	Inflight                    []int64
+	InflightMin                 int64
+	Stats                       CacheStats
+}
+
+// Bitmask is a packed bool column: entry i lives at bit i%8 of byte i/8.
+// JSON encodes it as a base64 string, so n bools cost ~n/6 bytes on the
+// wire instead of 5–6 bytes each as literal true/false.
+type Bitmask []byte
+
+// NewBitmask returns an all-false mask with capacity for n entries.
+func NewBitmask(n int) Bitmask { return make(Bitmask, (n+7)/8) }
+
+// Set marks entry i true.
+func (b Bitmask) Set(i int) { b[i/8] |= 1 << (i % 8) }
+
+// Get reports entry i.
+func (b Bitmask) Get(i int) bool { return b[i/8]>>(i%8)&1 != 0 }
+
+// Len returns the number of entries the mask can hold.
+func (b Bitmask) Len() int { return len(b) * 8 }
+
+// CacheStats mirrors cache.Stats field-for-field (a compile-checked
+// struct conversion in the cache package keeps them in lockstep).
+type CacheStats struct {
+	Accesses          uint64
+	Misses            uint64
+	InstMisses        uint64
+	DataMisses        uint64
+	LateHits          uint64
+	Fills             uint64
+	PrefetchFills     uint64
+	UsefulPrefetches  uint64
+	LatePrefetches    uint64
+	UselessPrefetches uint64
+	Evictions         uint64
+}
+
+// BPUState captures the branch prediction unit.
+type BPUState struct {
+	TAGE   TAGEState
+	ITTAGE ITTAGEState
+	BTB    BTBState
+	RAS    RASState
+	Stats  BPUStats
+}
+
+// BPUStats mirrors bpu.Stats (compile-checked conversion).
+type BPUStats struct {
+	CondBranches   uint64
+	CondMispredict uint64
+	BTBLookups     uint64
+	BTBMissTaken   uint64
+	IndBranches    uint64
+	IndMispredict  uint64
+	Returns        uint64
+	RetMispredict  uint64
+}
+
+// TAGEState captures the conditional direction predictor: base and tagged
+// tables, the global history ring, the folded-history accumulators (only
+// the compressed value — lengths and fold points are geometry, rebuilt by
+// construction), and the allocation state.
+type TAGEState struct {
+	Base     []int8
+	Tables   [][]TAGEEntry
+	HistBits []bool
+	HistHead int
+	// IdxFold/TagFold/Tg2Fold are the per-table folded-history compressed
+	// values.
+	IdxFold, TagFold, Tg2Fold []uint32
+	UseAltOnNa                int8
+	AllocSeed                 uint64
+}
+
+// TAGEEntry is one tagged-table entry.
+type TAGEEntry struct {
+	Tag    uint16
+	Ctr    int8
+	Useful uint8
+}
+
+// ITTAGEState captures the indirect target predictor.
+type ITTAGEState struct {
+	Base             []isa.Addr
+	Tables           [][]ITTAGEEntry
+	HistBits         []bool
+	HistHead         int
+	IdxFold, TagFold []uint32
+	AllocSeed        uint64
+}
+
+// ITTAGEEntry is one tagged-table entry.
+type ITTAGEEntry struct {
+	Tag    uint16
+	Target isa.Addr
+	Ctr    int8
+	Useful uint8
+}
+
+// BTBState captures the branch target buffer as a dense set-major entry
+// array plus its LRU clock and hit accounting.
+type BTBState struct {
+	Sets, Ways    int
+	Entries       []BTBEntryState
+	Tick          uint32
+	Lookups, Hits uint64
+}
+
+// BTBEntryState is one BTB entry.
+type BTBEntryState struct {
+	Valid  bool
+	Tag    uint64
+	Target isa.Addr
+	Kind   isa.BranchKind
+	LRU    uint32
+}
+
+// RASState captures the return address stack ring.
+type RASState struct {
+	Entries []isa.Addr
+	Top     int
+	Depth   int
+}
+
+// IAGState captures the instruction address generator: the oracle walker,
+// the forked wrong-path walker (when fetching beyond an unresolved
+// mispredict), and the mispredict gate.
+type IAGState struct {
+	Oracle            WalkerState
+	Wrong             *WalkerState
+	PendingMispredict bool
+}
+
+// WalkerState captures a trace walker's position and stream state. The
+// current block is stored by ID (-1 when the walker is "lost" outside any
+// block); the program itself is reconstruction input, not state.
+type WalkerState struct {
+	Rng            uint64
+	Stack          []isa.Addr
+	LoopCnt        []uint16
+	CurBlock       int
+	InstIdx        int
+	LostPC         isa.Addr
+	WrongPath      bool
+	DispatchCenter int
+	Count          uint64
+}
+
+// EpisodeState is one live line-fetch episode. Episodes are shared (an
+// FTQ entry's uops all reference their line's episode), so they are
+// captured once in State.Episodes and referenced by index.
+type EpisodeState struct {
+	Line             isa.Addr
+	WrongPath        bool
+	Missed           bool
+	ServedBy         uint8
+	FetchCycle       int64
+	DoneCycle        int64
+	Starve           int
+	BackendEmpty     bool
+	WasPrefetch      bool
+	Processed        bool
+	ResteerTrigger   isa.Addr
+	ResteerWasReturn bool
+	Refs             int32
+}
+
+// FTQEntryState is one predicted basic block in the FTQ or IFU.
+type FTQEntryState struct {
+	Insts     []isa.Inst
+	Start     isa.Addr
+	Lines     []isa.Addr
+	WrongPath bool
+	HasBranch bool
+
+	PredTaken  bool
+	PredTarget isa.Addr
+	PredBTBHit bool
+
+	Mispredict      bool
+	Cause           uint8
+	ResolveAtDecode bool
+	CorrectTarget   isa.Addr
+
+	ShadowTrigger   isa.Addr
+	ShadowWasReturn bool
+
+	// Episodes indexes State.Episodes (IFU entry only; queued FTQ entries
+	// have none).
+	Episodes []int
+	ReadyAt  int64
+}
+
+// UopState is one in-flight instruction (fetch→decode latch or ROB).
+type UopState struct {
+	Inst      isa.Inst
+	Seq       uint64
+	WrongPath bool
+	// Episode indexes State.Episodes; -1 means no episode reference.
+	Episode         int
+	Mispredict      bool
+	ResolveAtDecode bool
+	Cause           uint8
+	CorrectTarget   isa.Addr
+	TriggerBlock    isa.Addr
+	IsMemOp         bool
+	DataLine        isa.Addr
+	DoneAt          int64
+	AvailableAt     int64
+}
+
+// ROBState captures the reorder buffer contents, oldest first.
+type ROBState struct {
+	Uops  []UopState
+	Stats ROBStats
+}
+
+// ROBStats mirrors backend.Stats (compile-checked conversion).
+type ROBStats struct {
+	Pushed   uint64
+	Retired  uint64
+	Squashed uint64
+}
+
+// QueueState captures the prefetch queue contents, oldest first.
+type QueueState struct {
+	Entries []RequestState
+	Stats   QueueStats
+}
+
+// RequestState is one queued prefetch target.
+type RequestState struct {
+	Line    isa.Addr
+	Trigger uint8
+}
+
+// QueueStats mirrors prefetch.Stats (compile-checked conversion).
+type QueueStats struct {
+	Enqueued         uint64
+	DroppedQueueFull uint64
+	Issued           uint64
+	DroppedPresent   uint64
+	DroppedMSHR      uint64
+	ByTrigger        [3]uint64
+}
+
+// PrefetcherState captures the prefetcher under test. Kind names the
+// concrete implementation; exactly the matching sub-state is non-nil.
+type PrefetcherState struct {
+	Kind     string
+	PDIP     *PDIPState     `json:",omitempty"`
+	EIP      *EIPState      `json:",omitempty"`
+	RDIP     *RDIPState     `json:",omitempty"`
+	FNLMMA   *FNLMMAState   `json:",omitempty"`
+	NextLine *NextLineState `json:",omitempty"`
+}
+
+// PDIPState captures the PDIP trigger→target table.
+type PDIPState struct {
+	Sets  [][]PDIPEntryState
+	Tick  uint32
+	Rng   uint64
+	Stats PDIPStats
+}
+
+// PDIPEntryState is one PDIP table entry.
+type PDIPEntryState struct {
+	Valid   bool
+	Tag     uint32
+	LRU     uint32
+	Targets []PDIPTargetState
+}
+
+// PDIPTargetState is one target slot.
+type PDIPTargetState struct {
+	Valid bool
+	Base  isa.Addr
+	Mask  uint8
+	Trig  uint8
+	LRU   uint32
+}
+
+// PDIPStats mirrors pdip.Stats (compile-checked conversion).
+type PDIPStats struct {
+	InsertAttempts      uint64
+	InsertFiltered      uint64
+	InsertNoTrigger     uint64
+	InsertReturnSkipped uint64
+	Inserted            uint64
+	MaskMerged          uint64
+	Lookups             uint64
+	Hits                uint64
+}
+
+// EIPState captures the entangling prefetcher: the commit-order history
+// ring, the bounded table, and — in analytical mode — the unbounded map,
+// key-sorted.
+type EIPState struct {
+	Hist  []EIPHistEntry
+	Head  int
+	Size  int
+	Sets  [][]EIPEntryState
+	Anal  []EIPAnalEntry
+	Tick  uint32
+	Stats EIPStats
+}
+
+// EIPHistEntry is one history-ring slot.
+type EIPHistEntry struct {
+	Line  isa.Addr
+	Cycle int64
+}
+
+// EIPEntryState is one bounded-table entry.
+type EIPEntryState struct {
+	Valid bool
+	Tag   uint32
+	LRU   uint32
+	Dsts  []isa.Addr
+}
+
+// EIPAnalEntry is one analytical-table association, sorted by Src.
+type EIPAnalEntry struct {
+	Src  isa.Addr
+	Dsts []isa.Addr
+}
+
+// EIPStats mirrors eip.Stats (compile-checked conversion).
+type EIPStats struct {
+	Entangled uint64
+	NoSource  uint64
+	Lookups   uint64
+	Hits      uint64
+}
+
+// RDIPState captures the return-directed prefetcher: the signature table,
+// the private RAS mirror, and pending retire-time requests.
+type RDIPState struct {
+	Sets    [][]RDIPEntryState
+	Tick    uint32
+	RAS     []isa.Addr
+	Sig     uint64
+	Pending []RequestState
+	Stats   RDIPStats
+}
+
+// RDIPEntryState is one signature-table entry.
+type RDIPEntryState struct {
+	Valid bool
+	Tag   uint32
+	LRU   uint32
+	Lines []isa.Addr
+}
+
+// RDIPStats mirrors rdip.Stats (compile-checked conversion).
+type RDIPStats struct {
+	ContextSwitches uint64
+	Recorded        uint64
+	Hits            uint64
+}
+
+// FNLMMAState captures the FNL+MMA prefetcher tables.
+type FNLMMAState struct {
+	Worth    []uint8
+	MMATag   []uint32
+	MMADst   []isa.Addr
+	MissRing []isa.Addr
+	MissHead int
+	Pending  []RequestState
+	Stats    FNLMMAStats
+}
+
+// FNLMMAStats mirrors fnlmma.Stats (compile-checked conversion).
+type FNLMMAStats struct {
+	FNLEmitted uint64
+	MMAEmitted uint64
+	Trained    uint64
+}
+
+// NextLineState captures the sequential prefetcher.
+type NextLineState struct {
+	Degree  int
+	Emitted uint64
+	Pending []RequestState
+}
+
+// Encode writes st to w as gzip-compressed JSON. Go's encoding/json
+// renders struct fields in declaration order and the state structs hold
+// no maps, so identical states encode to identical bytes — the property
+// content addressing relies on.
+func Encode(w io.Writer, st *State) error {
+	// BestSpeed: default compression spends ~4x the CPU for ~25% smaller
+	// output, and encode time is on the critical path of every cold
+	// checkpoint store. Warm states are throwaway cache entries, not
+	// archives — trade bytes for latency.
+	zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if err := json.NewEncoder(zw).Encode(st); err != nil {
+		zw.Close()
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a state previously written by Encode. A version mismatch
+// is an error: the caller treats it as a cache miss and re-warms.
+func Decode(r io.Reader) (*State, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	defer zr.Close()
+	var st State
+	if err := json.NewDecoder(zr).Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if st.Version != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: format version %d, want %d", st.Version, FormatVersion)
+	}
+	return &st, nil
+}

@@ -1,0 +1,69 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Key content-addresses a checkpoint by hashing the canonical JSON of v
+// (the caller passes everything that determines the warm state: format
+// version, workload parameters, and the full simulator configuration).
+// encoding/json renders struct fields in declaration order and sorts map
+// keys, so the hash is stable across processes.
+func Key(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// path places key's checkpoint inside dir.
+func path(dir, key string) string {
+	return filepath.Join(dir, key+".ckpt.gz")
+}
+
+// Load reads the checkpoint stored under key in dir. A missing file,
+// a corrupt file, or a format-version mismatch all return an error the
+// caller treats as a cache miss.
+func Load(dir, key string) (*State, error) {
+	f, err := os.Open(path(dir, key))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Save writes st under key in dir, creating the directory as needed. The
+// write goes through a temp file and an atomic rename so concurrent
+// processes warming the same cell never observe a partial checkpoint —
+// last writer wins with identical bytes.
+func Save(dir, key string, st *State) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := Encode(tmp, st); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path(dir, key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pdip/internal/cfg"
+	"pdip/internal/checkpoint"
+	"pdip/internal/frontend"
+	"pdip/internal/isa"
+	"pdip/internal/mem"
+	"pdip/internal/prefetch"
+	"pdip/internal/trace"
+)
+
+// Snapshot captures the complete simulator state at the current cycle
+// boundary: every structure whose contents influence future simulated
+// behaviour or final metrics. A core restored from the snapshot (see
+// NewFromSnapshot) replays bit-identically to this core — that property
+// is what lets the harness warm a configuration once and fork the warm
+// state across measure-phase variants.
+//
+// Deliberately not captured (and safe to omit):
+//
+//   - The uop/episode/FTQ-entry free pools and the retired wrong-path
+//     walker (pool.go, IAG.free/wrongFree): recycled objects are reset
+//     field-for-field to zero, so an empty pool is behaviourally
+//     identical to a warm one.
+//   - TAGE/ITTAGE index memos: pure caches, recomputed on demand.
+//   - Per-stage scratch (decodeStage.lastSeq, prefetchDrainStage.lastTick,
+//     reqBuf, retireBuf): invariant bookkeeping and within-cycle buffers
+//     that are empty at every cycle boundary.
+//   - Interval samples: measurement output, cleared by ResetStats; warm
+//     cores have sampling disabled.
+//
+// TestCheckpointCompleteness walks the core's type tree by reflection and
+// fails when a field is neither captured nor on the explicit skip list,
+// so future state additions cannot silently desynchronize this format.
+func (co *Core) Snapshot() (*checkpoint.State, error) {
+	ck, ok := co.pf.(prefetch.Checkpointer)
+	if !ok {
+		return nil, fmt.Errorf("core: prefetcher %q does not implement prefetch.Checkpointer", co.pf.Name())
+	}
+
+	// Deduplicate live episodes in deterministic first-encounter order:
+	// decode-latch uops (oldest first), then ROB uops (oldest first), then
+	// the in-flight IFU entry's episode list. Episodes are shared between
+	// the uops of one fetch group, so identity (not value) must survive
+	// the round trip for the Refs-based recycling to keep working.
+	epIdx := make(map[*frontend.LineEpisode]int)
+	var eps []*frontend.LineEpisode
+	epID := func(ep *frontend.LineEpisode) int {
+		if id, ok := epIdx[ep]; ok {
+			return id
+		}
+		id := len(eps)
+		epIdx[ep] = id
+		eps = append(eps, ep)
+		return id
+	}
+	for i := 0; i < co.decodeQ.Len(); i++ {
+		if u := co.decodeQ.At(i); u.Ep != nil {
+			epID(u.Ep)
+		}
+	}
+	co.rob.ForEach(func(u *frontend.Uop) {
+		if u.Ep != nil {
+			epID(u.Ep)
+		}
+	})
+	if co.ifuEntry != nil {
+		for _, ep := range co.ifuEntry.Episodes {
+			epID(ep)
+		}
+	}
+
+	st := &checkpoint.State{
+		Version: checkpoint.FormatVersion,
+		Core:    co.captureCoreState(),
+		Metrics: co.reg.CaptureCheckpoint(),
+		Mem:     co.hier.CaptureCheckpoint(),
+		BPU:     co.bp.CaptureCheckpoint(),
+		IAG:     co.iag.CaptureCheckpoint(),
+	}
+
+	st.Episodes = make([]checkpoint.EpisodeState, len(eps))
+	for i, ep := range eps {
+		st.Episodes[i] = ep.CaptureCheckpoint()
+	}
+	st.FTQ = co.ftq.CaptureCheckpoint(epID)
+	if co.ifuEntry != nil {
+		e := co.ifuEntry.CaptureCheckpoint(epID)
+		st.IFU = &e
+	}
+	st.DecodeQ = make([]checkpoint.UopState, 0, co.decodeQ.Len())
+	for i := 0; i < co.decodeQ.Len(); i++ {
+		st.DecodeQ = append(st.DecodeQ, co.decodeQ.At(i).CaptureCheckpoint(epID))
+	}
+	st.ROB = co.rob.CaptureCheckpoint(epID)
+	st.PQ = co.pq.CaptureCheckpoint()
+	st.Prefetcher = ck.CaptureCheckpoint()
+
+	// epID only registers episodes reachable from uops and the IFU entry;
+	// if the walk above ever misses a reachable episode, its index would
+	// silently dangle, so double-check the registration count.
+	if len(epIdx) != len(eps) {
+		return nil, fmt.Errorf("core: episode dedup inconsistency (%d indexed, %d collected)", len(epIdx), len(eps))
+	}
+	return st, nil
+}
+
+// captureCoreState captures the core's scalar state, the EMISSARY and FEC
+// sets (key-sorted — checkpoint bytes must not depend on Go map iteration
+// order), the CollectSets diagnostics, and the rng streams.
+func (co *Core) captureCoreState() checkpoint.CoreState {
+	st := checkpoint.CoreState{
+		Now:             co.now,
+		Seq:             co.seq,
+		Retired:         co.retired,
+		HasResteer:      co.hasResteer,
+		ResteerAt:       co.pendingResteer.at,
+		ResteerTarget:   co.pendingResteer.target,
+		ResteerTrigger:  co.pendingResteer.trigger,
+		ResteerCause:    uint8(co.pendingResteer.cause),
+		IAGResumeAt:     co.iagResumeAt,
+		ShadowTrigger:   co.shadowTrigger,
+		ShadowWasReturn: co.shadowWasReturn,
+		ShadowLeft:      co.shadowLeft,
+		LastTakenBlock:  co.lastTakenBlock,
+		Promoted:        sortedAddrSet(co.promoted),
+		FECEver:         sortedAddrSet(co.fecEver),
+		FECReqAge:       co.fecReqAge,
+		FECHolds:        co.fecHolds,
+		SampleEvery:     co.sampleEvery,
+		DataRng:         co.dataRng.State(),
+		PromoRng:        co.promoRng.State(),
+	}
+	if co.fecSet != nil {
+		st.FECSet = sortedAddrSet(co.fecSet)
+	}
+	if co.pfSet != nil {
+		lines := make([]isa.Addr, 0, len(co.pfSet))
+		for line := range co.pfSet {
+			lines = append(lines, line)
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		st.PFSet = make([]checkpoint.PFSetEntry, 0, len(lines))
+		for _, line := range lines {
+			st.PFSet = append(st.PFSet, checkpoint.PFSetEntry{Line: line, Cycle: co.pfSet[line]})
+		}
+	}
+	if len(co.fecTrace) > 0 {
+		st.FECTrace = make([]checkpoint.FECInstanceState, len(co.fecTrace))
+		for i, f := range co.fecTrace {
+			st.FECTrace[i] = checkpoint.FECInstanceState{
+				Line: f.Line, Trigger: f.Trigger, Starve: f.Starve, Served: uint8(f.Served),
+			}
+		}
+	}
+	return st
+}
+
+func sortedAddrSet(m map[isa.Addr]struct{}) []isa.Addr {
+	out := make([]isa.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NewFromSnapshot builds a core over prog with configuration c and
+// overwrites its state from st — the in-memory fork operation. The
+// configuration must describe the same machine the snapshot was taken on
+// (same geometry everywhere); measure-phase knobs (CollectSets,
+// NoFastForward, sampling) may differ. st is only read: one snapshot can
+// be forked concurrently from many goroutines.
+func NewFromSnapshot(prog *cfg.Program, c Config, st *checkpoint.State) (*Core, error) {
+	if st.Version != checkpoint.FormatVersion {
+		return nil, fmt.Errorf("core: snapshot format version %d, simulator speaks %d", st.Version, checkpoint.FormatVersion)
+	}
+	co, err := New(prog, c)
+	if err != nil {
+		return nil, err
+	}
+	if err := co.restore(st); err != nil {
+		return nil, err
+	}
+	return co, nil
+}
+
+// restore overwrites a freshly constructed core's state from st. Slices
+// held by st are copied, never aliased.
+func (co *Core) restore(st *checkpoint.State) error {
+	ck, ok := co.pf.(prefetch.Checkpointer)
+	if !ok {
+		return fmt.Errorf("core: prefetcher %q does not implement prefetch.Checkpointer", co.pf.Name())
+	}
+	if err := co.reg.RestoreCheckpoint(st.Metrics); err != nil {
+		return err
+	}
+	if err := co.hier.RestoreCheckpoint(st.Mem); err != nil {
+		return err
+	}
+	if err := co.bp.RestoreCheckpoint(st.BPU); err != nil {
+		return err
+	}
+	if err := co.iag.RestoreCheckpoint(st.IAG, func(ws checkpoint.WalkerState) (*trace.Walker, error) {
+		return trace.NewFromCheckpoint(co.prog, ws)
+	}); err != nil {
+		return err
+	}
+
+	eps := make([]*frontend.LineEpisode, len(st.Episodes))
+	for i := range st.Episodes {
+		ep := co.newEpisode()
+		ep.RestoreCheckpoint(st.Episodes[i])
+		eps[i] = ep
+	}
+	if err := co.ftq.RestoreCheckpoint(st.FTQ, eps); err != nil {
+		return err
+	}
+	co.ifuEntry = nil
+	if st.IFU != nil {
+		e, err := frontend.NewEntryFromCheckpoint(*st.IFU, eps)
+		if err != nil {
+			return err
+		}
+		co.ifuEntry = e
+	}
+	co.decodeQ.Reset()
+	for i := range st.DecodeQ {
+		u := co.newUop()
+		if err := u.RestoreCheckpoint(st.DecodeQ[i], eps); err != nil {
+			return err
+		}
+		co.decodeQ.Push(u)
+	}
+	if err := co.rob.RestoreCheckpoint(st.ROB, eps, co.newUop); err != nil {
+		return err
+	}
+	if err := co.pq.RestoreCheckpoint(st.PQ); err != nil {
+		return err
+	}
+	if err := ck.RestoreCheckpoint(st.Prefetcher); err != nil {
+		return err
+	}
+	return co.restoreCoreState(st.Core)
+}
+
+// restoreCoreState is captureCoreState's inverse.
+func (co *Core) restoreCoreState(st checkpoint.CoreState) error {
+	co.now = st.Now
+	co.seq = st.Seq
+	co.retired = st.Retired
+	co.hasResteer = st.HasResteer
+	co.pendingResteer = resteerEvent{
+		at:      st.ResteerAt,
+		target:  st.ResteerTarget,
+		trigger: st.ResteerTrigger,
+		cause:   frontend.ResteerCause(st.ResteerCause),
+	}
+	co.iagResumeAt = st.IAGResumeAt
+	co.shadowTrigger = st.ShadowTrigger
+	co.shadowWasReturn = st.ShadowWasReturn
+	co.shadowLeft = st.ShadowLeft
+	co.lastTakenBlock = st.LastTakenBlock
+	clear(co.promoted)
+	for _, a := range st.Promoted {
+		co.promoted[a] = struct{}{}
+	}
+	clear(co.fecEver)
+	for _, a := range st.FECEver {
+		co.fecEver[a] = struct{}{}
+	}
+	// The CollectSets diagnostics restore only into a core that has them
+	// enabled; a fork that turns CollectSets on over a snapshot taken
+	// without it simply starts with empty sets (identical to a scratch run,
+	// whose ResetStats clears them at the warmup boundary).
+	if co.fecSet != nil {
+		clear(co.fecSet)
+		for _, a := range st.FECSet {
+			co.fecSet[a] = struct{}{}
+		}
+	}
+	if co.pfSet != nil {
+		clear(co.pfSet)
+		for _, e := range st.PFSet {
+			co.pfSet[e.Line] = e.Cycle
+		}
+	}
+	co.fecReqAge = st.FECReqAge
+	co.fecHolds = st.FECHolds
+	co.fecTrace = co.fecTrace[:0]
+	for _, f := range st.FECTrace {
+		co.fecTrace = append(co.fecTrace, FECInstance{
+			Line: f.Line, Trigger: f.Trigger, Starve: f.Starve, Served: mem.Level(f.Served),
+		})
+	}
+	co.sampleEvery = st.SampleEvery
+	co.dataRng.SetState(st.DataRng)
+	co.promoRng.SetState(st.PromoRng)
+	return nil
+}

@@ -285,6 +285,20 @@ func (co *Core) ResetStats() {
 	co.pq.Stats = prefetch.Stats{}
 	co.bp.Stats = bpu.Stats{}
 	co.rob.Stats = backend.Stats{}
+	// Clear the CollectSets diagnostics too, so the coverage sets describe
+	// the measured window only. This makes CollectSets a pure measure-phase
+	// knob: a core forked from a warm snapshot (whose warmup ran without
+	// CollectSets) starts the measured window with exactly the same empty
+	// sets as a from-scratch run reset here.
+	if co.fecSet != nil {
+		clear(co.fecSet)
+	}
+	if co.pfSet != nil {
+		clear(co.pfSet)
+	}
+	co.fecReqAge = [4]uint64{}
+	co.fecHolds = [3]uint64{}
+	co.fecTrace = co.fecTrace[:0]
 	if r, ok := co.pf.(interface{ ResetStats() }); ok {
 		r.ResetStats()
 	}

@@ -207,8 +207,9 @@ func (co *Core) liteResult() Result {
 // core's goroutine; snapshot it before sharing across goroutines.
 func (co *Core) Metrics() *metrics.Registry { return co.reg }
 
-// Snapshot captures every registered metric, stable-ordered.
-func (co *Core) Snapshot() metrics.Snapshot { return co.reg.Snapshot() }
+// MetricsSnapshot captures every registered metric, stable-ordered.
+// (Snapshot is the full simulator-state capture in checkpoint.go.)
+func (co *Core) MetricsSnapshot() metrics.Snapshot { return co.reg.Snapshot() }
 
 // EnableSampling records a full registry snapshot every everyN retired
 // instructions (measured window), so IPC/MPKI trajectories can be dumped

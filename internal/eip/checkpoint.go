@@ -1,0 +1,101 @@
+package eip
+
+import (
+	"fmt"
+	"sort"
+
+	"pdip/internal/checkpoint"
+	"pdip/internal/isa"
+)
+
+// CaptureCheckpoint implements prefetch.Checkpointer: the commit-order
+// history ring, the bounded entangling table or the analytical unbounded
+// map (key-sorted — checkpoint bytes must not depend on Go map iteration
+// order), and the stats.
+func (e *EIP) CaptureCheckpoint() checkpoint.PrefetcherState {
+	st := &checkpoint.EIPState{
+		Hist:  make([]checkpoint.EIPHistEntry, len(e.hist)),
+		Head:  e.head,
+		Size:  e.size,
+		Tick:  e.tick,
+		Stats: checkpoint.EIPStats(e.Stats),
+	}
+	for i, h := range e.hist {
+		st.Hist[i] = checkpoint.EIPHistEntry{Line: h.line, Cycle: h.cycle}
+	}
+	if e.sets != nil {
+		st.Sets = make([][]checkpoint.EIPEntryState, len(e.sets))
+		for si, set := range e.sets {
+			ws := make([]checkpoint.EIPEntryState, len(set))
+			for wi, t := range set {
+				ws[wi] = checkpoint.EIPEntryState{
+					Valid: t.valid,
+					Tag:   t.tag,
+					LRU:   t.lru,
+					Dsts:  append([]isa.Addr(nil), t.dsts...),
+				}
+			}
+			st.Sets[si] = ws
+		}
+	}
+	if e.anal != nil {
+		srcs := make([]isa.Addr, 0, len(e.anal))
+		for src := range e.anal {
+			srcs = append(srcs, src)
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		st.Anal = make([]checkpoint.EIPAnalEntry, 0, len(srcs))
+		for _, src := range srcs {
+			st.Anal = append(st.Anal, checkpoint.EIPAnalEntry{
+				Src:  src,
+				Dsts: append([]isa.Addr(nil), e.anal[src]...),
+			})
+		}
+	}
+	return checkpoint.PrefetcherState{Kind: "eip", EIP: st}
+}
+
+// RestoreCheckpoint implements prefetch.Checkpointer. The receiver must
+// have been built with the same configuration (history depth, table
+// geometry, bounded vs analytical mode).
+func (e *EIP) RestoreCheckpoint(st checkpoint.PrefetcherState) error {
+	if st.Kind != "eip" || st.EIP == nil {
+		return fmt.Errorf("eip: checkpoint kind %q, prefetcher is eip", st.Kind)
+	}
+	s := st.EIP
+	if len(s.Hist) != len(e.hist) {
+		return fmt.Errorf("eip: checkpoint history depth %d, prefetcher has %d", len(s.Hist), len(e.hist))
+	}
+	if (s.Sets != nil) != (e.sets != nil) || len(s.Sets) != len(e.sets) {
+		return fmt.Errorf("eip: checkpoint has %d table sets, prefetcher has %d", len(s.Sets), len(e.sets))
+	}
+	if (s.Anal != nil) && e.anal == nil {
+		return fmt.Errorf("eip: checkpoint is analytical, prefetcher is bounded")
+	}
+	for i, h := range s.Hist {
+		e.hist[i] = histEntry{line: h.Line, cycle: h.Cycle}
+	}
+	e.head = s.Head
+	e.size = s.Size
+	for si, ws := range s.Sets {
+		if len(ws) != len(e.sets[si]) {
+			return fmt.Errorf("eip: checkpoint set %d has %d ways, prefetcher has %d", si, len(ws), len(e.sets[si]))
+		}
+		for wi, es := range ws {
+			t := &e.sets[si][wi]
+			t.valid = es.Valid
+			t.tag = es.Tag
+			t.lru = es.LRU
+			t.dsts = append(t.dsts[:0], es.Dsts...)
+		}
+	}
+	if e.anal != nil {
+		clear(e.anal)
+		for _, a := range s.Anal {
+			e.anal[a.Src] = append([]isa.Addr(nil), a.Dsts...)
+		}
+	}
+	e.tick = s.Tick
+	e.Stats = Stats(s.Stats)
+	return nil
+}

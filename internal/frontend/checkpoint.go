@@ -1,0 +1,227 @@
+package frontend
+
+import (
+	"fmt"
+
+	"pdip/internal/checkpoint"
+	"pdip/internal/isa"
+	"pdip/internal/mem"
+	"pdip/internal/trace"
+)
+
+// CaptureCheckpoint converts the episode to its wire form.
+func (ep *LineEpisode) CaptureCheckpoint() checkpoint.EpisodeState {
+	return checkpoint.EpisodeState{
+		Line:             ep.Line,
+		WrongPath:        ep.WrongPath,
+		Missed:           ep.Missed,
+		ServedBy:         uint8(ep.ServedBy),
+		FetchCycle:       ep.FetchCycle,
+		DoneCycle:        ep.DoneCycle,
+		Starve:           ep.Starve,
+		BackendEmpty:     ep.BackendEmpty,
+		WasPrefetch:      ep.WasPrefetch,
+		Processed:        ep.Processed,
+		ResteerTrigger:   ep.ResteerTrigger,
+		ResteerWasReturn: ep.ResteerWasReturn,
+		Refs:             ep.Refs,
+	}
+}
+
+// RestoreCheckpoint overwrites the episode from its wire form.
+func (ep *LineEpisode) RestoreCheckpoint(st checkpoint.EpisodeState) {
+	*ep = LineEpisode{
+		Line:             st.Line,
+		WrongPath:        st.WrongPath,
+		Missed:           st.Missed,
+		ServedBy:         mem.Level(st.ServedBy),
+		FetchCycle:       st.FetchCycle,
+		DoneCycle:        st.DoneCycle,
+		Starve:           st.Starve,
+		BackendEmpty:     st.BackendEmpty,
+		WasPrefetch:      st.WasPrefetch,
+		Processed:        st.Processed,
+		ResteerTrigger:   st.ResteerTrigger,
+		ResteerWasReturn: st.ResteerWasReturn,
+		Refs:             st.Refs,
+	}
+}
+
+// CaptureCheckpoint converts the uop to its wire form. epID maps the
+// uop's episode pointer to its index in the checkpoint's deduplicated
+// episode table (-1 for no episode).
+func (u *Uop) CaptureCheckpoint(epID func(*LineEpisode) int) checkpoint.UopState {
+	st := checkpoint.UopState{
+		Inst:            u.Inst,
+		Seq:             u.Seq,
+		WrongPath:       u.WrongPath,
+		Episode:         -1,
+		Mispredict:      u.Mispredict,
+		ResolveAtDecode: u.ResolveAtDecode,
+		Cause:           uint8(u.Cause),
+		CorrectTarget:   u.CorrectTarget,
+		TriggerBlock:    u.TriggerBlock,
+		IsMemOp:         u.IsMemOp,
+		DataLine:        u.DataLine,
+		DoneAt:          u.DoneAt,
+		AvailableAt:     u.AvailableAt,
+	}
+	if u.Ep != nil {
+		st.Episode = epID(u.Ep)
+	}
+	return st
+}
+
+// RestoreCheckpoint overwrites the uop from its wire form, resolving the
+// episode index against eps (the restored episode table).
+func (u *Uop) RestoreCheckpoint(st checkpoint.UopState, eps []*LineEpisode) error {
+	if st.Episode >= len(eps) {
+		return fmt.Errorf("frontend: uop episode index %d out of range (%d episodes)", st.Episode, len(eps))
+	}
+	*u = Uop{
+		Inst:            st.Inst,
+		Seq:             st.Seq,
+		WrongPath:       st.WrongPath,
+		Mispredict:      st.Mispredict,
+		ResolveAtDecode: st.ResolveAtDecode,
+		Cause:           ResteerCause(st.Cause),
+		CorrectTarget:   st.CorrectTarget,
+		TriggerBlock:    st.TriggerBlock,
+		IsMemOp:         st.IsMemOp,
+		DataLine:        st.DataLine,
+		DoneAt:          st.DoneAt,
+		AvailableAt:     st.AvailableAt,
+	}
+	if st.Episode >= 0 {
+		u.Ep = eps[st.Episode]
+	}
+	return nil
+}
+
+// CaptureCheckpoint converts the FTQ entry to its wire form. epID maps
+// episode pointers to indices in the checkpoint's episode table.
+func (e *FTQEntry) CaptureCheckpoint(epID func(*LineEpisode) int) checkpoint.FTQEntryState {
+	st := checkpoint.FTQEntryState{
+		Insts:           append([]isa.Inst(nil), e.Insts...),
+		Start:           e.Start,
+		Lines:           append([]isa.Addr(nil), e.Lines...),
+		WrongPath:       e.WrongPath,
+		HasBranch:       e.HasBranch,
+		PredTaken:       e.Pred.Taken,
+		PredTarget:      e.Pred.Target,
+		PredBTBHit:      e.Pred.BTBHit,
+		Mispredict:      e.Mispredict,
+		Cause:           uint8(e.Cause),
+		ResolveAtDecode: e.ResolveAtDecode,
+		CorrectTarget:   e.CorrectTarget,
+		ShadowTrigger:   e.ShadowTrigger,
+		ShadowWasReturn: e.ShadowWasReturn,
+		ReadyAt:         e.ReadyAt,
+	}
+	if len(e.Episodes) > 0 {
+		st.Episodes = make([]int, len(e.Episodes))
+		for i, ep := range e.Episodes {
+			st.Episodes[i] = epID(ep)
+		}
+	}
+	return st
+}
+
+// NewEntryFromCheckpoint builds a fresh FTQ entry from its wire form,
+// resolving episode indices against eps.
+func NewEntryFromCheckpoint(st checkpoint.FTQEntryState, eps []*LineEpisode) (*FTQEntry, error) {
+	e := &FTQEntry{
+		Insts:           append([]isa.Inst(nil), st.Insts...),
+		Start:           st.Start,
+		Lines:           append([]isa.Addr(nil), st.Lines...),
+		WrongPath:       st.WrongPath,
+		HasBranch:       st.HasBranch,
+		Mispredict:      st.Mispredict,
+		Cause:           ResteerCause(st.Cause),
+		ResolveAtDecode: st.ResolveAtDecode,
+		CorrectTarget:   st.CorrectTarget,
+		ShadowTrigger:   st.ShadowTrigger,
+		ShadowWasReturn: st.ShadowWasReturn,
+		ReadyAt:         st.ReadyAt,
+	}
+	e.Pred.Taken = st.PredTaken
+	e.Pred.Target = st.PredTarget
+	e.Pred.BTBHit = st.PredBTBHit
+	if len(st.Episodes) > 0 {
+		e.Episodes = make([]*LineEpisode, len(st.Episodes))
+		for i, id := range st.Episodes {
+			if id < 0 || id >= len(eps) {
+				return nil, fmt.Errorf("frontend: FTQ entry episode index %d out of range (%d episodes)", id, len(eps))
+			}
+			e.Episodes[i] = eps[id]
+		}
+	}
+	return e, nil
+}
+
+// CaptureCheckpoint captures the queued entries oldest-first. epID maps
+// episode pointers as in FTQEntry.CaptureCheckpoint (queued entries have
+// no episodes in practice — episodes exist only once an entry leaves the
+// FTQ for the IFU — but the format does not rely on that).
+func (q *FTQ) CaptureCheckpoint(epID func(*LineEpisode) int) []checkpoint.FTQEntryState {
+	out := make([]checkpoint.FTQEntryState, 0, q.count)
+	for i := 0; i < q.count; i++ {
+		e := q.entries[(q.head+i)%len(q.entries)]
+		out = append(out, e.CaptureCheckpoint(epID))
+	}
+	return out
+}
+
+// RestoreCheckpoint replaces the queue's contents with the captured
+// entries (oldest-first), rebuilding the ring at head 0 — ring phase is
+// representation, not simulated state.
+func (q *FTQ) RestoreCheckpoint(sts []checkpoint.FTQEntryState, eps []*LineEpisode) error {
+	if len(sts) > len(q.entries) {
+		return fmt.Errorf("frontend: checkpoint has %d FTQ entries, depth is %d", len(sts), len(q.entries))
+	}
+	q.Flush()
+	for i := range sts {
+		e, err := NewEntryFromCheckpoint(sts[i], eps)
+		if err != nil {
+			return err
+		}
+		q.Push(e)
+	}
+	return nil
+}
+
+// CaptureCheckpoint captures the IAG's walkers and mispredict gate. The
+// FTQ-entry pool and the retired wrong-path walker (free, wrongFree) are
+// allocator bookkeeping, not simulated state: a recycled object is
+// bit-identical to a fresh one, so a restored IAG starting with empty
+// pools produces the same stream.
+func (g *IAG) CaptureCheckpoint() checkpoint.IAGState {
+	st := checkpoint.IAGState{
+		Oracle:            g.oracle.CaptureCheckpoint(),
+		PendingMispredict: g.pendingMispredict,
+	}
+	if g.wrong != nil {
+		w := g.wrong.CaptureCheckpoint()
+		st.Wrong = &w
+	}
+	return st
+}
+
+// RestoreCheckpoint overwrites the IAG's walkers and mispredict gate.
+// newWrong builds the wrong-path walker when the checkpoint carries one
+// (the walker needs the program, which the IAG does not hold).
+func (g *IAG) RestoreCheckpoint(st checkpoint.IAGState, newWrong func(checkpoint.WalkerState) (*trace.Walker, error)) error {
+	if err := g.oracle.RestoreCheckpoint(st.Oracle); err != nil {
+		return err
+	}
+	g.wrong = nil
+	if st.Wrong != nil {
+		w, err := newWrong(*st.Wrong)
+		if err != nil {
+			return err
+		}
+		g.wrong = w
+	}
+	g.pendingMispredict = st.PendingMispredict
+	return nil
+}

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 
+	"pdip/internal/cfg"
+	"pdip/internal/checkpoint"
 	"pdip/internal/core"
 	"pdip/internal/metrics"
 	"pdip/internal/policy"
@@ -99,27 +101,100 @@ type RunResult struct {
 	Samples []metrics.Sample
 }
 
-// Runner executes and memoises runs.
+// call is one in-flight Run, shared by every goroutine that submitted the
+// same spec: the first registrant executes, the rest block on done.
+type call struct {
+	done chan struct{}
+	res  *RunResult
+	err  error
+}
+
+// warmKey identifies one warm simulator state: everything that influences
+// the machine's state at the end of warmup. Specs differing only in
+// measure-phase knobs (Measure, SampleEvery, CollectSets) share a key —
+// and therefore share one warmup.
+type warmKey struct {
+	Benchmark, Policy string
+	BTBEntries        int
+	Warmup            uint64
+	NoFastForward     bool
+}
+
+// warmCall is one in-flight (or completed) warmup, singleflighted per
+// warmKey. Completed calls stay in Runner.warm as the in-memory
+// checkpoint cache.
+type warmCall struct {
+	done chan struct{}
+	st   *checkpoint.State
+	err  error
+}
+
+// CheckpointStats counts warm-state reuse for before/after reporting.
+type CheckpointStats struct {
+	// Forks counts runs served by forking a warm snapshot.
+	Forks uint64
+	// WarmupsExecuted counts warmups actually simulated.
+	WarmupsExecuted uint64
+	// MemoryHits counts warm states served from the in-process cache
+	// (including singleflight waiters who blocked on a leader's warmup).
+	MemoryHits uint64
+	// DiskHits and DiskStores count -checkpoint-dir cache traffic.
+	DiskHits   uint64
+	DiskStores uint64
+}
+
+// Runner executes and memoises runs. Runs whose spec includes a warmup
+// window go through the warm-state layer: the runner warms each warmKey
+// tuple once (per process — or per checkpoint directory, when configured),
+// snapshots the complete simulator state, and forks the snapshot for
+// every spec that shares the tuple.
 type Runner struct {
-	mu    sync.Mutex
-	cache map[RunSpec]*RunResult
-	errs  map[RunSpec]error
-	sem   chan struct{}
+	mu       sync.Mutex
+	cache    map[RunSpec]*RunResult
+	errs     map[RunSpec]error
+	inflight map[RunSpec]*call
+	warm     map[warmKey]*warmCall
+	ckStats  CheckpointStats
+	// checkpointDir, when non-empty, is the content-addressed on-disk
+	// checkpoint cache shared across processes.
+	checkpointDir string
+	sem           chan struct{}
 }
 
 // NewRunner returns a Runner bounded to parallelism concurrent runs.
 func NewRunner(parallelism int) *Runner {
+	return NewRunnerWithCheckpoints(parallelism, "")
+}
+
+// NewRunnerWithCheckpoints returns a Runner that additionally persists
+// warm-state checkpoints under dir (content-addressed by workload +
+// configuration + format version), so repeat process invocations skip
+// warmup entirely. An empty dir keeps checkpoints in memory only.
+func NewRunnerWithCheckpoints(parallelism int, dir string) *Runner {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		cache: make(map[RunSpec]*RunResult),
-		errs:  make(map[RunSpec]error),
-		sem:   make(chan struct{}, parallelism),
+		cache:         make(map[RunSpec]*RunResult),
+		errs:          make(map[RunSpec]error),
+		inflight:      make(map[RunSpec]*call),
+		warm:          make(map[warmKey]*warmCall),
+		checkpointDir: dir,
+		sem:           make(chan struct{}, parallelism),
 	}
 }
 
-// Run executes spec (or returns the memoised result).
+// CheckpointStats returns a snapshot of the warm-state reuse counters.
+func (r *Runner) CheckpointStats() CheckpointStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckStats
+}
+
+// Run executes spec (or returns the memoised result). Concurrent calls
+// with the same spec are singleflighted: the first registers an in-flight
+// call and executes; later submitters block on it and share the result
+// instead of duplicating the run.
 func (r *Runner) Run(spec RunSpec) (*RunResult, error) {
 	r.mu.Lock()
 	if res, ok := r.cache[spec]; ok {
@@ -130,28 +205,170 @@ func (r *Runner) Run(spec RunSpec) (*RunResult, error) {
 		r.mu.Unlock()
 		return nil, err
 	}
+	if c, ok := r.inflight[spec]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	r.inflight[spec] = c
 	r.mu.Unlock()
 
 	r.sem <- struct{}{}
-	defer func() { <-r.sem }()
+	c.res, c.err = r.execute(spec)
+	<-r.sem
 
-	// Another goroutine may have completed it while we waited.
 	r.mu.Lock()
-	if res, ok := r.cache[spec]; ok {
-		r.mu.Unlock()
-		return res, nil
+	if c.err != nil {
+		r.errs[spec] = c.err
+	} else {
+		r.cache[spec] = c.res
 	}
+	delete(r.inflight, spec)
 	r.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
 
-	res, err := Execute(spec)
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// execute runs one spec, amortizing warmup through the warm-state layer
+// whenever the spec has a warmup window.
+func (r *Runner) execute(spec RunSpec) (*RunResult, error) {
+	warmup, measure := spec.budgets()
+	if warmup == 0 {
+		// Nothing to amortize; run from scratch.
+		return Execute(spec)
+	}
+	wk := warmKey{
+		Benchmark:     spec.Benchmark,
+		Policy:        spec.Policy,
+		BTBEntries:    spec.BTBEntries,
+		Warmup:        warmup,
+		NoFastForward: spec.NoFastForward,
+	}
+	st, err := r.warmState(wk)
 	if err != nil {
-		r.errs[spec] = err
 		return nil, err
 	}
-	r.cache[spec] = res
-	return res, nil
+	prog, c, err := buildConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	co, err := core.NewFromSnapshot(prog, c, st)
+	if err != nil {
+		return nil, fmt.Errorf("%s fork: %w", spec.Key(), err)
+	}
+	r.mu.Lock()
+	r.ckStats.Forks++
+	r.mu.Unlock()
+	return measureRun(co, spec, measure)
+}
+
+// warmState returns the warm simulator state for wk, singleflighting the
+// warmup: the first caller builds (or loads) it, concurrent callers block
+// on the result, later callers hit the in-memory cache.
+func (r *Runner) warmState(wk warmKey) (*checkpoint.State, error) {
+	r.mu.Lock()
+	if c, ok := r.warm[wk]; ok {
+		r.ckStats.MemoryHits++
+		r.mu.Unlock()
+		<-c.done
+		return c.st, c.err
+	}
+	c := &warmCall{done: make(chan struct{})}
+	r.warm[wk] = c
+	r.mu.Unlock()
+
+	c.st, c.err = r.buildWarmState(wk)
+	close(c.done)
+	return c.st, c.err
+}
+
+// buildWarmState produces wk's warm state: from the on-disk cache when
+// configured and populated, otherwise by simulating the warmup window on
+// a fresh core and snapshotting it (and storing the result on disk).
+func (r *Runner) buildWarmState(wk warmKey) (*checkpoint.State, error) {
+	// Warm with measure-phase knobs off: CollectSets has no timing effect
+	// and its sets are cleared at the measurement boundary anyway, so the
+	// cheapest configuration warms for all of them.
+	wspec := RunSpec{
+		Benchmark:     wk.Benchmark,
+		Policy:        wk.Policy,
+		BTBEntries:    wk.BTBEntries,
+		Warmup:        wk.Warmup,
+		NoFastForward: wk.NoFastForward,
+	}
+	prog, c, err := buildConfig(wspec)
+	if err != nil {
+		return nil, err
+	}
+
+	var key string
+	if r.checkpointDir != "" {
+		key, err = diskKey(wspec, c)
+		if err != nil {
+			return nil, err
+		}
+		if st, err := checkpoint.Load(r.checkpointDir, key); err == nil {
+			r.mu.Lock()
+			r.ckStats.DiskHits++
+			r.mu.Unlock()
+			return st, nil
+		}
+	}
+
+	co, err := core.New(prog, c)
+	if err != nil {
+		return nil, err
+	}
+	if err := co.Run(wk.Warmup); err != nil {
+		return nil, fmt.Errorf("%s/%s warmup: %w", wk.Benchmark, wk.Policy, err)
+	}
+	st, err := co.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s snapshot: %w", wk.Benchmark, wk.Policy, err)
+	}
+	r.mu.Lock()
+	r.ckStats.WarmupsExecuted++
+	r.mu.Unlock()
+
+	if r.checkpointDir != "" {
+		if err := checkpoint.Save(r.checkpointDir, key, st); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.ckStats.DiskStores++
+		r.mu.Unlock()
+	}
+	return st, nil
+}
+
+// diskKey content-addresses wspec's warm state. The hash covers the
+// format version, the benchmark's workload parameters (which generate the
+// program), and the complete derived core configuration — so any change
+// to a policy, a profile, or the state format misses cleanly instead of
+// restoring a stale checkpoint. The prefetcher instance is stripped: its
+// identity is already pinned by the policy name and the config knobs.
+func diskKey(wspec RunSpec, c core.Config) (string, error) {
+	prof, err := workload.ByName(wspec.Benchmark)
+	if err != nil {
+		return "", err
+	}
+	c.Prefetcher = nil
+	return checkpoint.Key(struct {
+		Version   int
+		Benchmark string
+		Policy    string
+		Warmup    uint64
+		Workload  cfg.Params
+		Config    core.Config
+	}{
+		Version:   checkpoint.FormatVersion,
+		Benchmark: wspec.Benchmark,
+		Policy:    wspec.Policy,
+		Warmup:    wspec.Warmup,
+		Workload:  prof.CFG,
+		Config:    c,
+	})
 }
 
 // RunAll executes every spec concurrently and returns results in order.
@@ -181,19 +398,32 @@ func (r *Runner) RunAll(specs []RunSpec) ([]*RunResult, error) {
 	return results, nil
 }
 
-// Execute performs one simulation run without memoisation.
-func Execute(spec RunSpec) (*RunResult, error) {
+// budgets returns the normalised warmup/measure instruction budgets: an
+// all-zero spec means "default experiment scale".
+func (s RunSpec) budgets() (warmup, measure uint64) {
+	warmup, measure = s.Warmup, s.Measure
+	if warmup == 0 && measure == 0 {
+		o := DefaultOptions()
+		warmup, measure = o.Warmup, o.Measure
+	}
+	return warmup, measure
+}
+
+// buildConfig derives the generated program and the full core
+// configuration for spec: workload profile knobs, the BTB override,
+// measure-phase flags, then the policy's configuration hook.
+func buildConfig(spec RunSpec) (*cfg.Program, core.Config, error) {
 	prof, err := workload.ByName(spec.Benchmark)
 	if err != nil {
-		return nil, err
+		return nil, core.Config{}, err
 	}
 	pol, err := policy.ByName(spec.Policy)
 	if err != nil {
-		return nil, err
+		return nil, core.Config{}, err
 	}
 	prog, err := prof.Program()
 	if err != nil {
-		return nil, err
+		return nil, core.Config{}, err
 	}
 
 	c := core.DefaultConfig()
@@ -208,19 +438,14 @@ func Execute(spec RunSpec) (*RunResult, error) {
 	c.CollectSets = spec.CollectSets
 	c.NoFastForward = spec.NoFastForward
 	pol.Apply(&c)
+	return prog, c, nil
+}
 
-	co, err := core.New(prog, c)
-	if err != nil {
-		return nil, err
-	}
-	warmup, measure := spec.Warmup, spec.Measure
-	if warmup == 0 && measure == 0 {
-		o := DefaultOptions()
-		warmup, measure = o.Warmup, o.Measure
-	}
-	if err := co.Run(warmup); err != nil {
-		return nil, fmt.Errorf("%s/%s warmup: %w", spec.Benchmark, spec.Policy, err)
-	}
+// measureRun resets a warmed core's measurement counters, simulates the
+// measured window, and packages the result — shared by the from-scratch
+// and fork-from-snapshot paths, which must agree bit-for-bit
+// (TestCheckpointBitIdentical).
+func measureRun(co *core.Core, spec RunSpec, measure uint64) (*RunResult, error) {
 	co.ResetStats()
 	if spec.SampleEvery > 0 {
 		co.EnableSampling(spec.SampleEvery)
@@ -228,13 +453,31 @@ func Execute(spec RunSpec) (*RunResult, error) {
 	if err := co.Run(measure); err != nil {
 		return nil, fmt.Errorf("%s/%s measure: %w", spec.Benchmark, spec.Policy, err)
 	}
-	res := co.Result()
 	return &RunResult{
 		Spec:    spec,
-		Res:     res,
-		Metrics: co.Snapshot(),
+		Res:     co.Result(),
+		Metrics: co.MetricsSnapshot(),
 		Samples: co.Samples(),
 	}, nil
+}
+
+// Execute performs one simulation run from scratch, without memoisation
+// or warm-state reuse — the reference path that VerifyDeterminism and the
+// checkpoint bit-identity tests compare against.
+func Execute(spec RunSpec) (*RunResult, error) {
+	prog, c, err := buildConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	co, err := core.New(prog, c)
+	if err != nil {
+		return nil, err
+	}
+	warmup, measure := spec.budgets()
+	if err := co.Run(warmup); err != nil {
+		return nil, fmt.Errorf("%s/%s warmup: %w", spec.Benchmark, spec.Policy, err)
+	}
+	return measureRun(co, spec, measure)
 }
 
 // Results returns every memoised result, sorted by spec key — the export

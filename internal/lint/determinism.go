@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
+	"strings"
 )
 
 // Determinism enforces the contracts behind bit-identical deterministic
@@ -21,6 +23,14 @@ import (
 //     (map→map copies, integer accumulation, keyed writes) pass, and the
 //     collect-keys-then-sort idiom passes when a sort call follows in the
 //     same function.
+//
+// Checkpoint serialization files (checkpoint*.go) get a stricter form of
+// the map rule: there, a range over a map may do nothing but collect keys
+// into a slice that is sorted afterwards. Serialization turns simulator
+// state into bytes that must be identical across runs (the on-disk warm
+// states are content-addressed), so body shapes the general rule
+// tolerates — keyed writes, commutative accumulation — are still banned:
+// a later refactor could route them into the encoded stream unnoticed.
 type Determinism struct{}
 
 // Name implements Analyzer.
@@ -82,8 +92,20 @@ func (d *Determinism) Check(p *Package, rep *Reporter) {
 	}
 }
 
+// isCheckpointFile reports whether filename is a checkpoint serialization
+// source file (checkpoint*.go, tests excluded).
+func isCheckpointFile(filename string) bool {
+	base := filepath.Base(filename)
+	return strings.HasPrefix(base, "checkpoint") &&
+		strings.HasSuffix(base, ".go") && !strings.HasSuffix(base, "_test.go")
+}
+
 // checkMapRange classifies the body of a range-over-map statement.
 func (d *Determinism) checkMapRange(p *Package, rep *Reporter, file *ast.File, rs *ast.RangeStmt, module string) {
+	if isCheckpointFile(p.Fset.Position(rs.Pos()).Filename) {
+		d.checkCheckpointMapRange(p, rep, file, rs)
+		return
+	}
 	metricsPkg := module + "/internal/metrics"
 	statePkgs := map[string]bool{
 		module + "/internal/mem":   true,
@@ -120,6 +142,35 @@ func (d *Determinism) checkMapRange(p *Package, rep *Reporter, file *ast.File, r
 		if body == nil || !sortedAfter(p, body, rs.End(), obj) {
 			rep.Reportf(d.Name(), pos,
 				"slice %s is built in map-iteration order and never sorted afterwards: collect keys then sort (the sorted-keys idiom), or iterate a sorted key slice", obj.Name())
+		}
+	}
+}
+
+// checkCheckpointMapRange applies the stricter serialization rule: inside
+// a checkpoint*.go file, every statement of a range-over-map body must
+// append the iteration key to an outer slice, and every such slice must
+// reach a sort call before the function ends. Anything else — keyed
+// writes, accumulation, calls — is flagged even though the general rule
+// would accept it, because serialization output must be byte-stable.
+func (d *Determinism) checkCheckpointMapRange(p *Package, rep *Reporter, file *ast.File, rs *ast.RangeStmt) {
+	appendTargets := map[types.Object]token.Pos{}
+	for _, stmt := range rs.Body.List {
+		if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				if obj := objOf(p, id); obj != nil && !declaredWithin(obj, rs) && isAppendTo(p, as, 0, obj) {
+					appendTargets[obj] = as.Pos()
+					continue
+				}
+			}
+		}
+		rep.Reportf(d.Name(), stmt.Pos(),
+			"map iteration in checkpoint serialization code may only collect keys: collect into a slice, sort it, then index the map (sorted-keys idiom)")
+	}
+	body := enclosingFunc(file, rs.Pos())
+	for obj, pos := range appendTargets {
+		if body == nil || !sortedAfter(p, body, rs.End(), obj) {
+			rep.Reportf(d.Name(), pos,
+				"slice %s collects checkpoint map keys but is never sorted: the serialized byte stream would follow map iteration order", obj.Name())
 		}
 	}
 }

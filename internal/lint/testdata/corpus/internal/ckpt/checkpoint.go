@@ -1,0 +1,56 @@
+// Package ckpt exercises the stricter determinism rule for checkpoint
+// serialization files: in a file named checkpoint*.go, a range over a map
+// may do nothing but collect keys into a slice that is sorted afterwards.
+// Shapes the general map rule accepts elsewhere (keyed writes, map→map
+// copies) must still flag here.
+package ckpt
+
+import "sort"
+
+// State is a serialized-state stand-in.
+type State struct {
+	Lines []uint64
+}
+
+// CaptureSorted is the sanctioned sorted-keys idiom: collect the keys,
+// sort them, then index the map in sorted order. Must pass.
+func CaptureSorted(set map[uint64]uint64) []uint64 {
+	keys := make([]uint64, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]uint64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, set[k])
+	}
+	return out
+}
+
+// CaptureUnsorted collects keys but never sorts them: the serialized
+// order would follow map iteration.
+func CaptureUnsorted(set map[uint64]uint64) []uint64 {
+	var keys []uint64
+	for k := range set {
+		keys = append(keys, k) // want:determinism
+	}
+	return keys
+}
+
+// CaptureCopy is a map→map copy — order-independent under the general
+// rule, but forbidden in serialization files where the strict rule leaves
+// no room for a refactor to leak iteration order into the byte stream.
+func CaptureCopy(set map[uint64]uint64) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(set))
+	for k, v := range set {
+		out[k] = v // want:determinism
+	}
+	return out
+}
+
+// CaptureDirect serializes values straight into the state in map order.
+func CaptureDirect(st *State, set map[uint64]uint64) {
+	for line := range set {
+		st.Lines = append(st.Lines, line) // want:determinism
+	}
+}

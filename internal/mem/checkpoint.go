@@ -1,0 +1,29 @@
+package mem
+
+import "pdip/internal/checkpoint"
+
+// CaptureCheckpoint captures all four cache levels. The port chain itself
+// is stateless wiring and is rebuilt by New at restore.
+func (h *Hierarchy) CaptureCheckpoint() checkpoint.HierarchyState {
+	return checkpoint.HierarchyState{
+		L1I: h.L1I.CaptureCheckpoint(),
+		L1D: h.L1D.CaptureCheckpoint(),
+		L2:  h.L2.CaptureCheckpoint(),
+		L3:  h.L3.CaptureCheckpoint(),
+	}
+}
+
+// RestoreCheckpoint overwrites all four cache levels from a captured
+// state. The hierarchy must have been built with the same geometry.
+func (h *Hierarchy) RestoreCheckpoint(st checkpoint.HierarchyState) error {
+	if err := h.L1I.RestoreCheckpoint(st.L1I); err != nil {
+		return err
+	}
+	if err := h.L1D.RestoreCheckpoint(st.L1D); err != nil {
+		return err
+	}
+	if err := h.L2.RestoreCheckpoint(st.L2); err != nil {
+		return err
+	}
+	return h.L3.RestoreCheckpoint(st.L3)
+}

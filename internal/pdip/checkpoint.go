@@ -1,0 +1,76 @@
+package pdip
+
+import (
+	"fmt"
+
+	"pdip/internal/checkpoint"
+	"pdip/internal/prefetch"
+)
+
+// CaptureCheckpoint implements prefetch.Checkpointer: the full
+// trigger→target table (tags, LRU stamps, target slots with masks), the
+// replacement clock, the insertion-coin rng, and the stats. The debug
+// hooks (debugInserted, DebugLog) are diagnostics, not simulated state.
+func (p *PDIP) CaptureCheckpoint() checkpoint.PrefetcherState {
+	st := &checkpoint.PDIPState{
+		Sets:  make([][]checkpoint.PDIPEntryState, len(p.sets)),
+		Tick:  p.tick,
+		Rng:   p.r.State(),
+		Stats: checkpoint.PDIPStats(p.Stats),
+	}
+	for si, set := range p.sets {
+		ws := make([]checkpoint.PDIPEntryState, len(set))
+		for wi, e := range set {
+			es := checkpoint.PDIPEntryState{
+				Valid:   e.valid,
+				Tag:     e.tag,
+				LRU:     e.lru,
+				Targets: make([]checkpoint.PDIPTargetState, len(e.targets)),
+			}
+			for ti, t := range e.targets {
+				es.Targets[ti] = checkpoint.PDIPTargetState{
+					Valid: t.valid, Base: t.base, Mask: t.mask, Trig: uint8(t.trig), LRU: t.lru,
+				}
+			}
+			ws[wi] = es
+		}
+		st.Sets[si] = ws
+	}
+	return checkpoint.PrefetcherState{Kind: "pdip", PDIP: st}
+}
+
+// RestoreCheckpoint implements prefetch.Checkpointer. The receiver must
+// have been built with the same table geometry.
+func (p *PDIP) RestoreCheckpoint(st checkpoint.PrefetcherState) error {
+	if st.Kind != "pdip" || st.PDIP == nil {
+		return fmt.Errorf("pdip: checkpoint kind %q, prefetcher is pdip", st.Kind)
+	}
+	s := st.PDIP
+	if len(s.Sets) != len(p.sets) {
+		return fmt.Errorf("pdip: checkpoint has %d sets, table has %d", len(s.Sets), len(p.sets))
+	}
+	for si, ws := range s.Sets {
+		if len(ws) != len(p.sets[si]) {
+			return fmt.Errorf("pdip: checkpoint set %d has %d ways, table has %d", si, len(ws), len(p.sets[si]))
+		}
+		for wi, es := range ws {
+			e := &p.sets[si][wi]
+			if len(es.Targets) != len(e.targets) {
+				return fmt.Errorf("pdip: checkpoint entry has %d target slots, table has %d", len(es.Targets), len(e.targets))
+			}
+			e.valid = es.Valid
+			e.tag = es.Tag
+			e.lru = es.LRU
+			for ti, ts := range es.Targets {
+				e.targets[ti] = target{
+					valid: ts.Valid, base: ts.Base, mask: ts.Mask,
+					trig: prefetch.TriggerKind(ts.Trig), lru: ts.LRU,
+				}
+			}
+		}
+	}
+	p.tick = s.Tick
+	p.r.SetState(s.Rng)
+	p.Stats = Stats(s.Stats)
+	return nil
+}

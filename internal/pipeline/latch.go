@@ -72,6 +72,12 @@ func (l *Latch[T]) Filter(keep func(T) bool) {
 	l.head = 0
 }
 
+// At returns the i-th buffered entry (0 = head) without consuming it.
+// Checkpointing walks latch contents with it; i must be in [0, Len()).
+func (l *Latch[T]) At(i int) T {
+	return l.buf[l.head+i]
+}
+
 // Reset discards every entry.
 func (l *Latch[T]) Reset() {
 	l.buf = l.buf[:0]

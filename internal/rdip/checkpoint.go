@@ -1,0 +1,66 @@
+package rdip
+
+import (
+	"fmt"
+
+	"pdip/internal/checkpoint"
+	"pdip/internal/isa"
+	"pdip/internal/prefetch"
+)
+
+// CaptureCheckpoint implements prefetch.Checkpointer: the signature
+// table, the private RAS mirror and current context signature, pending
+// retire-time requests, and the stats.
+func (r *RDIP) CaptureCheckpoint() checkpoint.PrefetcherState {
+	st := &checkpoint.RDIPState{
+		Sets:    make([][]checkpoint.RDIPEntryState, len(r.sets)),
+		Tick:    r.tick,
+		RAS:     append([]isa.Addr(nil), r.ras...),
+		Sig:     r.sig,
+		Pending: prefetch.CaptureRequests(r.pending),
+		Stats:   checkpoint.RDIPStats(r.Stats),
+	}
+	for si, set := range r.sets {
+		ws := make([]checkpoint.RDIPEntryState, len(set))
+		for wi, e := range set {
+			ws[wi] = checkpoint.RDIPEntryState{
+				Valid: e.valid,
+				Tag:   e.tag,
+				LRU:   e.lru,
+				Lines: append([]isa.Addr(nil), e.lines...),
+			}
+		}
+		st.Sets[si] = ws
+	}
+	return checkpoint.PrefetcherState{Kind: "rdip", RDIP: st}
+}
+
+// RestoreCheckpoint implements prefetch.Checkpointer. The receiver must
+// have been built with the same table geometry.
+func (r *RDIP) RestoreCheckpoint(st checkpoint.PrefetcherState) error {
+	if st.Kind != "rdip" || st.RDIP == nil {
+		return fmt.Errorf("rdip: checkpoint kind %q, prefetcher is rdip", st.Kind)
+	}
+	s := st.RDIP
+	if len(s.Sets) != len(r.sets) {
+		return fmt.Errorf("rdip: checkpoint has %d sets, table has %d", len(s.Sets), len(r.sets))
+	}
+	for si, ws := range s.Sets {
+		if len(ws) != len(r.sets[si]) {
+			return fmt.Errorf("rdip: checkpoint set %d has %d ways, table has %d", si, len(ws), len(r.sets[si]))
+		}
+		for wi, es := range ws {
+			e := &r.sets[si][wi]
+			e.valid = es.Valid
+			e.tag = es.Tag
+			e.lru = es.LRU
+			e.lines = append(e.lines[:0], es.Lines...)
+		}
+	}
+	r.tick = s.Tick
+	r.ras = append(r.ras[:0], s.RAS...)
+	r.sig = s.Sig
+	r.pending = prefetch.RestoreRequests(r.pending[:0], s.Pending)
+	r.Stats = Stats(s.Stats)
+	return nil
+}

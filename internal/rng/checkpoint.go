@@ -1,0 +1,9 @@
+package rng
+
+// State returns the generator's internal state word for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state word, restoring a
+// stream captured with State. The next Uint64 continues the captured
+// sequence exactly.
+func (r *RNG) SetState(s uint64) { r.state = s }

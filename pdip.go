@@ -43,8 +43,14 @@ type Result = core.Result
 // subset, parallelism).
 type Options = harness.Options
 
-// Runner executes and memoises simulation runs.
+// Runner executes and memoises simulation runs, warming each
+// (benchmark, policy, btb, warmup) tuple once and forking the warm
+// snapshot for every spec that differs only in measure-phase knobs.
 type Runner = harness.Runner
+
+// CheckpointStats counts warm-state reuse (warmups simulated, snapshot
+// forks, in-memory and on-disk cache hits) for a Runner.
+type CheckpointStats = harness.CheckpointStats
 
 // Profile is a synthetic benchmark profile (see Benchmarks).
 type Profile = workload.Profile
@@ -84,6 +90,14 @@ func VerifyDeterminism(spec RunSpec) error { return harness.VerifyDeterminism(sp
 // NewRunner returns a memoising runner bounded to n concurrent runs
 // (n <= 0 uses GOMAXPROCS).
 func NewRunner(n int) *Runner { return harness.NewRunner(n) }
+
+// NewRunnerWithCheckpoints returns a runner that additionally persists
+// warm-state checkpoints under dir (content-addressed by workload,
+// configuration, and state-format version), so repeat process invocations
+// skip warmup entirely. An empty dir keeps warm states in memory only.
+func NewRunnerWithCheckpoints(n int, dir string) *Runner {
+	return harness.NewRunnerWithCheckpoints(n, dir)
+}
 
 // DefaultOptions returns the standard experiment scale.
 func DefaultOptions() Options { return harness.DefaultOptions() }
