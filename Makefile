@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build fmt-check vet test race determinism golden check bench clean
-.PHONY: lint check-invariant fuzz bench-track bench-diff perf-smoke
+.PHONY: lint check-invariant fuzz bench-track bench-diff perf-smoke trace-suite
 
 all: build
 
@@ -52,13 +52,20 @@ golden-update:
 check-invariant:
 	$(GO) test -tags siminvariant ./...
 
-# Short fuzzing smoke over the three property-based targets. Lengthen
+# Short fuzzing smoke over the four property-based targets. Lengthen
 # -fuzztime for real fuzzing sessions.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/cache -run '^$$' -fuzz '^FuzzCacheSetVsShadow$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bpu -run '^$$' -fuzz '^FuzzTAGEIndexFold$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/pdip -run '^$$' -fuzz '^FuzzPDIPTableInsertLookup$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/trace/champsim -run '^$$' -fuzz '^FuzzChampSimDecode$$' -fuzztime=$(FUZZTIME)
+
+# Trace front-end suite: the ChampSim codec/source unit tests plus the
+# harness-level round-trip, checkpoint, and warm-fork trace tests.
+trace-suite:
+	$(GO) test ./internal/trace/... -count=1
+	$(GO) test ./internal/harness -run 'TestGoldenMetricsTraceRoundTrip|TestRecordTrace|TestTrace' -count=1 -v
 
 check: fmt-check vet build lint test race determinism golden
 

@@ -10,6 +10,7 @@ package pdip
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 
 	"pdip/internal/bpu"
@@ -22,6 +23,7 @@ import (
 	ipdip "pdip/internal/pdip"
 	"pdip/internal/prefetch"
 	"pdip/internal/trace"
+	"pdip/internal/trace/champsim"
 	"pdip/internal/workload"
 )
 
@@ -271,6 +273,38 @@ func BenchmarkMicroCoreStep(b *testing.B) {
 		b.Fatal(err)
 	}
 	reportSimCycles(b, co.Cycles()-start)
+}
+
+// BenchmarkMicroTraceReplay measures one decoded instruction off the
+// ChampSim trace front-end in standalone mode — the per-instruction cost a
+// trace-driven run adds over the synthetic walker (BenchmarkWalker). The
+// trace is raw (uncompressed) and the source is warmed past its first
+// chunk, so steady state must stay at 0 allocs/op: Next reuses the chunk
+// buffer and the fixed-size decode cache and RAS mirror, wrapping back to
+// record 0 when the pass ends.
+func BenchmarkMicroTraceReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "kafka.champsim")
+	spec := RunSpec{Benchmark: "kafka", Policy: "baseline"}
+	if err := RecordTrace(spec, path, 200_000); err != nil {
+		b.Fatal(err)
+	}
+	src, err := champsim.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < 50_000; i++ {
+		src.Next()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Next()
+	}
+	b.StopTimer()
+	if err := src.Err(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkMicroTAGEPredict measures one predict+train round trip of the

@@ -7,6 +7,8 @@
 //	experiments -run fig9 -quick          # reduced instruction budgets
 //	experiments -run fig10 -benchmarks cassandra,tpcc,verilator
 //	experiments -run fig10 -metrics runs.json   # dump every run's registry
+//	experiments -record-trace traces -benchmarks kafka,tomcat
+//	experiments -run fig10 -trace traces -trace-differential
 //	experiments -list
 //	experiments -list-benchmarks
 //	experiments -list-policies
@@ -17,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pdip"
@@ -39,6 +42,9 @@ func main() {
 		ckDir    = flag.String("checkpoint-dir", "", "cache warm simulator states in this directory (content-addressed), so repeat invocations skip warmup")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering every run to this path")
 		memProf  = flag.String("memprofile", "", "write a post-experiment heap profile to this path")
+		traceDir = flag.String("trace", "", "drive every run from ChampSim traces in this directory (<benchmark>.champsim or .champsim.gz) instead of the synthetic walker")
+		traceDif = flag.Bool("trace-differential", false, "with -trace: cross-check every decoded instruction against the synthetic walker; any divergence fails the run")
+		recDir   = flag.String("record-trace", "", "record every selected benchmark's synthetic stream as gzipped ChampSim traces into this directory and exit")
 	)
 	flag.Parse()
 
@@ -70,7 +76,7 @@ func main() {
 		return
 	}
 
-	if *list || *run == "" {
+	if *list || (*run == "" && *recDir == "") {
 		fmt.Println("available experiments:")
 		for _, e := range pdip.Experiments() {
 			fmt.Printf("  %-6s %s\n", e.ID, e.Title)
@@ -93,6 +99,16 @@ func main() {
 	}
 	o.Parallelism = *par
 	o.NoFastForward = *noFF
+	o.TraceDir = *traceDir
+	o.TraceDifferential = *traceDif
+
+	if *recDir != "" {
+		if err := recordTraces(o, *recDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runner := pdip.NewRunnerWithCheckpoints(*par, *ckDir)
 	if *run == "all" {
@@ -123,6 +139,29 @@ func main() {
 	fmt.Println(out)
 	dumpMetrics(runner, *metrics)
 	reportCheckpoints(runner)
+}
+
+// recordTraces exports every selected benchmark's synthetic instruction
+// stream into dir as <benchmark>.champsim.gz, sized to the options'
+// warmup+measure budget plus no-wrap slack — ready for a later run with
+// -trace pointed at the same directory.
+func recordTraces(o pdip.Options, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	benches := o.Benchmarks
+	if len(benches) == 0 {
+		benches = pdip.BenchmarkNames()
+	}
+	for _, b := range benches {
+		spec := pdip.RunSpec{Benchmark: b, Policy: "baseline", Warmup: o.Warmup, Measure: o.Measure}
+		path := filepath.Join(dir, b+".champsim.gz")
+		if err := pdip.RecordTrace(spec, path, 0); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: recorded %s -> %s\n", b, path)
+	}
+	return nil
 }
 
 // reportCheckpoints summarises warm-state reuse on stderr: how many

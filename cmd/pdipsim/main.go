@@ -6,6 +6,9 @@
 //	pdipsim -bench cassandra -policy pdip44
 //	pdipsim -bench cassandra -policy pdip44 -stats-json stats.json
 //	pdipsim -bench cassandra -policy pdip44 -stats-json - -sample-interval 100000
+//	pdipsim -bench kafka -record-trace kafka.champsim.gz
+//	pdipsim -bench kafka -policy pdip44 -trace kafka.champsim.gz
+//	pdipsim -bench kafka -policy pdip44 -trace kafka.champsim.gz -trace-differential
 //	pdipsim -list-benchmarks
 //	pdipsim -list-policies
 //	pdipsim -print-config
@@ -38,6 +41,10 @@ func main() {
 		ckDir    = flag.String("checkpoint-dir", "", "cache the warm simulator state in this directory (content-addressed), so repeat invocations skip warmup")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile for the run to this path")
 		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this path")
+		tracePth = flag.String("trace", "", "drive the run from this ChampSim trace (raw or .gz) instead of walking the synthetic CFG")
+		traceDif = flag.Bool("trace-differential", false, "with -trace: cross-check every decoded instruction against the synthetic walker the trace was recorded from; any divergence fails the run")
+		recTrace = flag.String("record-trace", "", "record the benchmark's synthetic instruction stream as a ChampSim trace to this path (gzipped when it ends in .gz) and exit")
+		recN     = flag.Uint64("record-insts", 0, "with -record-trace: instruction count to record (0 = warmup+measure plus no-wrap slack)")
 	)
 	flag.Parse()
 
@@ -78,13 +85,23 @@ func main() {
 	}
 
 	spec := pdip.RunSpec{
-		Benchmark:     *bench,
-		Policy:        *pol,
-		Warmup:        *warmup,
-		Measure:       *measure,
-		BTBEntries:    *btb,
-		SampleEvery:   *sampleN,
-		NoFastForward: *noFF,
+		Benchmark:         *bench,
+		Policy:            *pol,
+		Warmup:            *warmup,
+		Measure:           *measure,
+		BTBEntries:        *btb,
+		SampleEvery:       *sampleN,
+		NoFastForward:     *noFF,
+		TracePath:         *tracePth,
+		TraceDifferential: *traceDif,
+	}
+	if *recTrace != "" {
+		if err := pdip.RecordTrace(spec, *recTrace, *recN); err != nil {
+			fmt.Fprintln(os.Stderr, "pdipsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pdipsim: recorded %s as a ChampSim trace at %s\n", *bench, *recTrace)
+		return
 	}
 	var res *pdip.RunResult
 	if *ckDir != "" {

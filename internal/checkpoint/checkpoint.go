@@ -37,7 +37,11 @@ import (
 // FormatVersion identifies the state layout. Bump it whenever a captured
 // struct changes shape or meaning — stale on-disk checkpoints then miss
 // (they are keyed by version) instead of restoring garbage.
-const FormatVersion = 1
+//
+// Version history: 1 = original format (IAGState held WalkerState
+// directly); 2 = instruction sources became a tagged union (SourceState),
+// admitting ChampSim trace replay alongside the synthetic CFG walker.
+const FormatVersion = 2
 
 // State is the complete simulator state at one cycle boundary.
 type State struct {
@@ -303,13 +307,43 @@ type RASState struct {
 	Depth   int
 }
 
-// IAGState captures the instruction address generator: the oracle walker,
-// the forked wrong-path walker (when fetching beyond an unresolved
+// IAGState captures the instruction address generator: the oracle source,
+// the forked wrong-path source (when fetching beyond an unresolved
 // mispredict), and the mispredict gate.
 type IAGState struct {
-	Oracle            WalkerState
-	Wrong             *WalkerState
+	Oracle            SourceState
+	Wrong             *SourceState
 	PendingMispredict bool
+}
+
+// Source kinds for SourceState. Exactly the sub-state matching the kind
+// is populated; restore fails loudly on a kind the restoring source does
+// not speak.
+const (
+	// SourceCFG is the synthetic CFG walker (trace.Walker). Wrong-path
+	// walkers forked from any oracle kind that delegates its wrong paths
+	// to a shadow walker use this kind too.
+	SourceCFG = "cfg"
+	// SourceChampSim is a ChampSim trace-replay oracle
+	// (trace/champsim.Source), standalone or differential.
+	SourceChampSim = "champsim"
+	// SourceChampSimWrong is the derived wrong path of a standalone
+	// ChampSim replay (trace/champsim.Wrong).
+	SourceChampSimWrong = "champsim-wrong"
+)
+
+// SourceState is the tagged union over instruction-source kinds: the
+// synthetic CFG walker and the ChampSim trace-replay sources serialize
+// into the same slot of IAGState, keyed by Kind. The backing input (the
+// generated program, the trace file) is reconstruction input, not state.
+type SourceState struct {
+	Kind string
+	// Walker is the CFG-walker state (SourceCFG), and doubles as the
+	// shadow-walker state of a differential ChampSim source.
+	Walker *WalkerState `json:",omitempty"`
+	// ChampSim is the trace-replay state (SourceChampSim and
+	// SourceChampSimWrong).
+	ChampSim *ChampSimState `json:",omitempty"`
 }
 
 // WalkerState captures a trace walker's position and stream state. The
@@ -325,6 +359,33 @@ type WalkerState struct {
 	WrongPath      bool
 	DispatchCenter int
 	Count          uint64
+}
+
+// ChampSimState captures a ChampSim trace-replay source. For the oracle,
+// Count and Primed pin the reader position (records consumed = Count +
+// one look-ahead record when Primed), and Decode/RAS hold the shadow
+// structures the derived wrong path walks; the trace file itself is
+// reconstruction input. For a wrong-path source (SourceChampSimWrong),
+// PC and RAS hold the speculative cursor — the shadow tables it reads
+// belong to (and are restored with) the parent oracle.
+type ChampSimState struct {
+	Count  uint64
+	Primed bool
+	// Decode is the sparse contents of the shadow decode cache, sorted
+	// by slot index.
+	Decode []ChampSimDecodeEntry `json:",omitempty"`
+	RAS    []isa.Addr            `json:",omitempty"`
+	PC     isa.Addr
+}
+
+// ChampSimDecodeEntry is one valid shadow decode-cache slot.
+type ChampSimDecodeEntry struct {
+	Slot   int
+	PC     isa.Addr
+	Size   uint8
+	Kind   uint8
+	Taken  bool
+	Target isa.Addr
 }
 
 // EpisodeState is one live line-fetch episode. Episodes are shared (an

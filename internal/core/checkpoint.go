@@ -176,10 +176,18 @@ func sortedAddrSet(m map[isa.Addr]struct{}) []isa.Addr {
 // NoFastForward, sampling) may differ. st is only read: one snapshot can
 // be forked concurrently from many goroutines.
 func NewFromSnapshot(prog *cfg.Program, c Config, st *checkpoint.State) (*Core, error) {
+	return NewFromSnapshotWithSource(prog, nil, c, st)
+}
+
+// NewFromSnapshotWithSource is NewFromSnapshot for cores driven by an
+// explicit instruction source (trace replay): src must be a fresh source
+// over the same input the snapshot's core was built on, and is positioned
+// by the restore.
+func NewFromSnapshotWithSource(prog *cfg.Program, src trace.OracleSource, c Config, st *checkpoint.State) (*Core, error) {
 	if st.Version != checkpoint.FormatVersion {
 		return nil, fmt.Errorf("core: snapshot format version %d, simulator speaks %d", st.Version, checkpoint.FormatVersion)
 	}
-	co, err := New(prog, c)
+	co, err := NewWithSource(prog, src, c)
 	if err != nil {
 		return nil, err
 	}
@@ -205,9 +213,7 @@ func (co *Core) restore(st *checkpoint.State) error {
 	if err := co.bp.RestoreCheckpoint(st.BPU); err != nil {
 		return err
 	}
-	if err := co.iag.RestoreCheckpoint(st.IAG, func(ws checkpoint.WalkerState) (*trace.Walker, error) {
-		return trace.NewFromCheckpoint(co.prog, ws)
-	}); err != nil {
+	if err := co.iag.RestoreCheckpoint(st.IAG); err != nil {
 		return err
 	}
 

@@ -11,6 +11,8 @@ import (
 	"pdip/internal/pdip"
 	"pdip/internal/prefetch"
 	"pdip/internal/rdip"
+	"pdip/internal/trace"
+	"pdip/internal/trace/champsim"
 )
 
 // checkpointManifest is the authoritative field-coverage ledger of the
@@ -286,11 +288,40 @@ var checkpointManifest = map[string]map[string]string{
 		"ID": "config", "Func": "config", "Addr": "config",
 		"InstSizes": "config", "Term": "config",
 	},
+	// ChampSim trace replay: the trace file is reconstruction input, the
+	// stream position and derived-wrong-path structures are the state
+	// (ChampSimState in the checkpoint's SourceState union). err latches
+	// replay divergences for post-run reporting and is reset on restore.
+	"champsim.Source": {
+		"r": "state", "shadow": "state",
+		"cur": "state", "primed": "state", "count": "state",
+		"dec": "state", "ras": "state",
+		"err":       "diag",
+		"freeWrong": "pool",
+	},
+	// The reader's chunk window and pass position are re-derived from the
+	// captured instruction count (RestoreSource reseeks the stream).
+	"champsim.Reader": {
+		"path": "config", "f": "wiring", "zr": "wiring", "gz": "config",
+		"buf": "scratch", "pos": "derived", "n": "derived",
+		"recInPass": "derived", "passRecords": "config", "wraps": "derived",
+	},
+	// The lookahead record is re-read from the reseeked stream; its wire
+	// fields are state in the same sense the walker's position is.
+	"champsim.Record": {
+		"IP": "derived", "IsBranch": "derived", "BranchTaken": "derived",
+		"DestRegs": "derived", "SrcRegs": "derived",
+		"DestMem": "derived", "SrcMem": "derived",
+	},
+	"champsim.decodeCache": {"inst": "state", "valid": "state"},
+	"champsim.rasMirror":   {"buf": "state", "top": "state", "depth": "state"},
+	"champsim.Wrong":       {"src": "wiring", "pc": "state", "ras": "state"},
 }
 
 // checkpointRoots returns the state roots of the walk: the core itself
-// plus every prefetcher implementation (reachable only through the
-// prefetch.Prefetcher interface, which reflection cannot traverse).
+// plus every implementation reachable only through an interface, which
+// reflection cannot traverse — the prefetchers (prefetch.Prefetcher) and
+// the instruction sources (trace.Source / trace.OracleSource).
 func checkpointRoots() []reflect.Type {
 	return []reflect.Type{
 		reflect.TypeOf(Core{}),
@@ -300,6 +331,9 @@ func checkpointRoots() []reflect.Type {
 		reflect.TypeOf(fnlmma.FNLMMA{}),
 		reflect.TypeOf(prefetch.NextLine{}),
 		reflect.TypeOf(prefetch.None{}),
+		reflect.TypeOf(trace.Walker{}),
+		reflect.TypeOf(champsim.Source{}),
+		reflect.TypeOf(champsim.Wrong{}),
 	}
 }
 

@@ -123,17 +123,33 @@ type Core struct {
 	}
 }
 
-// New builds a core over prog with the given configuration.
+// New builds a core over prog with the given configuration, walking the
+// synthetic CFG directly.
 func New(prog *cfg.Program, c Config) (*Core, error) {
+	return NewWithSource(prog, nil, c)
+}
+
+// NewWithSource builds a core whose instruction stream comes from src (a
+// ChampSim trace replay, say) instead of a fresh CFG walker. A nil src
+// falls back to walking prog with the config seed; prog may be nil only
+// when src is non-nil (pure trace replay needs no program, but memop
+// generation and wrong-path derivation then live entirely in src).
+func NewWithSource(prog *cfg.Program, src trace.OracleSource, c Config) (*Core, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if src == nil && prog == nil {
+		return nil, fmt.Errorf("core: need a program or an instruction source")
 	}
 	hier, err := mem.New(c.Mem)
 	if err != nil {
 		return nil, err
 	}
 	bp := bpu.New(c.BPU)
-	oracle := trace.New(prog, c.Seed)
+	oracle := src
+	if oracle == nil {
+		oracle = trace.New(prog, c.Seed)
+	}
 	pf := c.Prefetcher
 	if pf == nil {
 		pf = prefetch.None{}

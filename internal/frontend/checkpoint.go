@@ -6,7 +6,6 @@ import (
 	"pdip/internal/checkpoint"
 	"pdip/internal/isa"
 	"pdip/internal/mem"
-	"pdip/internal/trace"
 )
 
 // CaptureCheckpoint converts the episode to its wire form.
@@ -190,33 +189,33 @@ func (q *FTQ) RestoreCheckpoint(sts []checkpoint.FTQEntryState, eps []*LineEpiso
 	return nil
 }
 
-// CaptureCheckpoint captures the IAG's walkers and mispredict gate. The
-// FTQ-entry pool and the retired wrong-path walker (free, wrongFree) are
+// CaptureCheckpoint captures the IAG's sources and mispredict gate. The
+// FTQ-entry pool and the retired wrong-path source (free, wrongFree) are
 // allocator bookkeeping, not simulated state: a recycled object is
 // bit-identical to a fresh one, so a restored IAG starting with empty
 // pools produces the same stream.
 func (g *IAG) CaptureCheckpoint() checkpoint.IAGState {
 	st := checkpoint.IAGState{
-		Oracle:            g.oracle.CaptureCheckpoint(),
+		Oracle:            g.oracle.CaptureSource(),
 		PendingMispredict: g.pendingMispredict,
 	}
 	if g.wrong != nil {
-		w := g.wrong.CaptureCheckpoint()
+		w := g.wrong.CaptureSource()
 		st.Wrong = &w
 	}
 	return st
 }
 
-// RestoreCheckpoint overwrites the IAG's walkers and mispredict gate.
-// newWrong builds the wrong-path walker when the checkpoint carries one
-// (the walker needs the program, which the IAG does not hold).
-func (g *IAG) RestoreCheckpoint(st checkpoint.IAGState, newWrong func(checkpoint.WalkerState) (*trace.Walker, error)) error {
-	if err := g.oracle.RestoreCheckpoint(st.Oracle); err != nil {
+// RestoreCheckpoint overwrites the IAG's sources and mispredict gate. The
+// oracle rebuilds the wrong-path source when the checkpoint carries one
+// (wrong paths hold no reconstruction input of their own).
+func (g *IAG) RestoreCheckpoint(st checkpoint.IAGState) error {
+	if err := g.oracle.RestoreSource(st.Oracle); err != nil {
 		return err
 	}
 	g.wrong = nil
 	if st.Wrong != nil {
-		w, err := newWrong(*st.Wrong)
+		w, err := g.oracle.RestoreWrong(*st.Wrong)
 		if err != nil {
 			return err
 		}

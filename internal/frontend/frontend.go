@@ -222,12 +222,12 @@ func (q *FTQ) Contains(line isa.Addr) bool {
 
 // IAG is the instruction address generator: it walks the predicted stream
 // one basic block per cycle, consulting the BPU on the correct path and
-// following a forked wrong-path walker after a mispredict until the
+// following a forked wrong-path source after a mispredict until the
 // resteer arrives.
 type IAG struct {
 	BPU    *bpu.BPU
-	oracle *trace.Walker
-	wrong  *trace.Walker
+	oracle trace.OracleSource
+	wrong  trace.Source
 
 	// maxEntryInsts caps instructions per FTQ entry.
 	maxEntryInsts int
@@ -237,15 +237,16 @@ type IAG struct {
 	pendingMispredict bool
 
 	// free is the FTQ-entry recycling pool and wrongFree the retired
-	// wrong-path walker whose storage the next fork reuses. Both are
+	// wrong-path source whose storage the next fork reuses. Both are
 	// allocator bookkeeping: a recycled entry is bit-identical to a fresh
-	// one, and ForkInto reproduces Fork's stream exactly.
+	// one, and ForkWrong reproduces a fresh fork's stream exactly.
 	free      []*FTQEntry
-	wrongFree *trace.Walker
+	wrongFree trace.Source
 }
 
-// NewIAG builds an IAG over the oracle walker.
-func NewIAG(b *bpu.BPU, oracle *trace.Walker, maxEntryInsts int) *IAG {
+// NewIAG builds an IAG over the oracle instruction source (the synthetic
+// CFG walker, or a ChampSim trace replay).
+func NewIAG(b *bpu.BPU, oracle trace.OracleSource, maxEntryInsts int) *IAG {
 	if maxEntryInsts <= 0 {
 		maxEntryInsts = 16
 	}
@@ -256,9 +257,9 @@ func NewIAG(b *bpu.BPU, oracle *trace.Walker, maxEntryInsts int) *IAG {
 // mispredict.
 func (g *IAG) OnWrongPath() bool { return g.wrong != nil }
 
-// Resteer redirects the IAG back to the correct path. The oracle walker is
+// Resteer redirects the IAG back to the correct path. The oracle source is
 // already positioned at the resteer target (it stopped advancing when the
-// mispredict was detected), so the wrong-path walker is simply dropped.
+// mispredict was detected), so the wrong-path source is simply dropped.
 func (g *IAG) Resteer() {
 	if g.wrong != nil {
 		g.wrongFree = g.wrong
@@ -299,7 +300,7 @@ func (g *IAG) newEntry(wrongPath bool) *FTQEntry {
 // the entry-size cap, predicts the terminator on the correct path, and
 // forks a wrong-path walker when the prediction diverges from the oracle.
 func (g *IAG) NextEntry() *FTQEntry {
-	w := g.oracle
+	var w trace.Source = g.oracle
 	if g.wrong != nil {
 		w = g.wrong
 	}
@@ -361,7 +362,7 @@ func (g *IAG) NextEntry() *FTQEntry {
 		e.Cause = ResteerMispredict
 	}
 	g.pendingMispredict = true
-	g.wrong = g.oracle.ForkInto(g.wrongFree, predictedNext)
+	g.wrong = g.oracle.ForkWrong(g.wrongFree, predictedNext)
 	g.wrongFree = nil
 	return e
 }

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -36,6 +38,7 @@ func Experiments() []Experiment {
 		{"fig15", "Figure 15: storage effectiveness (BTB + prefetch table)", Fig15},
 		{"fig16", "Figure 16: prefetch trigger distribution", Fig16},
 		{"ablations", "Ablations: PDIP design choices (§5.1–§5.3, §6.2)", Ablations},
+		{"tracecheck", "Trace replay cross-check: record → ChampSim trace → differential replay vs direct", TraceCheck},
 	}
 }
 
@@ -431,6 +434,53 @@ func mean(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// TraceCheck is the self-validation experiment of the trace front-end:
+// each selected benchmark is recorded to a ChampSim trace and replayed in
+// differential mode under the headline policies, and every counter is
+// diffed against the direct synthetic run. An "identical" row means the
+// record→decode→replay loop is bit-exact for that cell; anything else
+// prints the divergence count (and the run itself fails on decoder
+// divergence, so a silent wrong-stream replay cannot score "identical").
+func TraceCheck(r *Runner, o Options) (string, error) {
+	dir, err := os.MkdirTemp("", "pdip-tracecheck-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(dir)
+
+	to := o
+	to.TraceDir = dir
+	to.TraceDifferential = true
+	policies := []string{"baseline", "pdip44", "eip46"}
+	t := stats.NewTable(append([]string{"benchmark", "records"}, policies...)...)
+	for _, b := range o.benchmarks() {
+		rspec := o.spec(b, "baseline")
+		path := filepath.Join(dir, b+".champsim")
+		if err := RecordTrace(rspec, path, 0); err != nil {
+			return "", err
+		}
+		warmup, measure := rspec.budgets()
+		row := []string{b, fmt.Sprintf("%d", warmup+measure+TraceSlack)}
+		for _, p := range policies {
+			direct, err := r.Run(o.spec(b, p))
+			if err != nil {
+				return "", err
+			}
+			replay, err := r.Run(to.spec(b, p))
+			if err != nil {
+				return "", err
+			}
+			if diff := direct.Metrics.Diff(replay.Metrics); len(diff) > 0 {
+				row = append(row, fmt.Sprintf("%d diffs", len(diff)))
+			} else {
+				row = append(row, "identical")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String(), nil
 }
 
 // RunAllExperiments runs every registered experiment and concatenates the

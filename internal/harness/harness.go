@@ -35,6 +35,13 @@ type Options struct {
 	// NoFastForward disables idle-cycle fast-forward on every run (see
 	// RunSpec.NoFastForward).
 	NoFastForward bool
+	// TraceDir, when non-empty, drives every run from
+	// <TraceDir>/<benchmark>.champsim[.gz] instead of walking the
+	// synthetic CFG directly (see RunSpec.TracePath).
+	TraceDir string
+	// TraceDifferential cross-checks each trace against the synthetic
+	// walker it was recorded from (see RunSpec.TraceDifferential).
+	TraceDifferential bool
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -78,14 +85,31 @@ type RunSpec struct {
 	// core.Config flag of the same name); metrics must be bit-identical
 	// either way, and TestFastForwardBitIdentical holds the simulator to it.
 	NoFastForward bool
+	// TracePath, when non-empty, drives the run from a ChampSim trace
+	// instead of walking the synthetic CFG directly. The benchmark still
+	// names the workload profile, which supplies the data-side model (and,
+	// differentially, the shadow walker).
+	TracePath string
+	// TraceDifferential runs the trace in differential mode: every decoded
+	// instruction is cross-checked against a lockstep synthetic walker and
+	// a divergence fails the run. Requires TracePath, and the trace must
+	// have been recorded from this benchmark's profile.
+	TraceDifferential bool
 }
 
-// Key renders the spec as a stable string ("bench/policy[@btbK]"), used
-// for metric export maps and error messages.
+// Key renders the spec as a stable string ("bench/policy[@btbK][+trace]"),
+// used for metric export maps and error messages.
 func (s RunSpec) Key() string {
 	k := s.Benchmark + "/" + s.Policy
 	if s.BTBEntries > 0 {
 		k = fmt.Sprintf("%s@%dK-BTB", k, s.BTBEntries/1024)
+	}
+	if s.TracePath != "" {
+		if s.TraceDifferential {
+			k += "+difftrace"
+		} else {
+			k += "+trace"
+		}
 	}
 	return k
 }
@@ -118,6 +142,8 @@ type warmKey struct {
 	BTBEntries        int
 	Warmup            uint64
 	NoFastForward     bool
+	TracePath         string
+	TraceDifferential bool
 }
 
 // warmCall is one in-flight (or completed) warmup, singleflighted per
@@ -239,11 +265,13 @@ func (r *Runner) execute(spec RunSpec) (*RunResult, error) {
 		return Execute(spec)
 	}
 	wk := warmKey{
-		Benchmark:     spec.Benchmark,
-		Policy:        spec.Policy,
-		BTBEntries:    spec.BTBEntries,
-		Warmup:        warmup,
-		NoFastForward: spec.NoFastForward,
+		Benchmark:         spec.Benchmark,
+		Policy:            spec.Policy,
+		BTBEntries:        spec.BTBEntries,
+		Warmup:            warmup,
+		NoFastForward:     spec.NoFastForward,
+		TracePath:         spec.TracePath,
+		TraceDifferential: spec.TraceDifferential,
 	}
 	st, err := r.warmState(wk)
 	if err != nil {
@@ -253,14 +281,20 @@ func (r *Runner) execute(spec RunSpec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	co, err := core.NewFromSnapshot(prog, c, st)
+	src, osrc, err := openSource(spec, prog, c)
 	if err != nil {
+		return nil, err
+	}
+	co, err := core.NewFromSnapshotWithSource(prog, osrc, c, st)
+	if err != nil {
+		closeSource(src)
 		return nil, fmt.Errorf("%s fork: %w", spec.Key(), err)
 	}
 	r.mu.Lock()
 	r.ckStats.Forks++
 	r.mu.Unlock()
-	return measureRun(co, spec, measure)
+	res, err := measureRun(co, spec, measure)
+	return finishSource(spec, src, res, err)
 }
 
 // warmState returns the warm simulator state for wk, singleflighting the
@@ -291,19 +325,24 @@ func (r *Runner) buildWarmState(wk warmKey) (*checkpoint.State, error) {
 	// and its sets are cleared at the measurement boundary anyway, so the
 	// cheapest configuration warms for all of them.
 	wspec := RunSpec{
-		Benchmark:     wk.Benchmark,
-		Policy:        wk.Policy,
-		BTBEntries:    wk.BTBEntries,
-		Warmup:        wk.Warmup,
-		NoFastForward: wk.NoFastForward,
+		Benchmark:         wk.Benchmark,
+		Policy:            wk.Policy,
+		BTBEntries:        wk.BTBEntries,
+		Warmup:            wk.Warmup,
+		NoFastForward:     wk.NoFastForward,
+		TracePath:         wk.TracePath,
+		TraceDifferential: wk.TraceDifferential,
 	}
 	prog, c, err := buildConfig(wspec)
 	if err != nil {
 		return nil, err
 	}
 
+	// The on-disk cache content-addresses the workload parameters and
+	// configuration, not the bytes of an arbitrary trace file, so
+	// trace-driven warm states stay in memory only.
 	var key string
-	if r.checkpointDir != "" {
+	if r.checkpointDir != "" && wspec.TracePath == "" {
 		key, err = diskKey(wspec, c)
 		if err != nil {
 			return nil, err
@@ -316,12 +355,20 @@ func (r *Runner) buildWarmState(wk warmKey) (*checkpoint.State, error) {
 		}
 	}
 
-	co, err := core.New(prog, c)
+	src, osrc, err := openSource(wspec, prog, c)
+	if err != nil {
+		return nil, err
+	}
+	defer closeSource(src)
+	co, err := core.NewWithSource(prog, osrc, c)
 	if err != nil {
 		return nil, err
 	}
 	if err := co.Run(wk.Warmup); err != nil {
 		return nil, fmt.Errorf("%s/%s warmup: %w", wk.Benchmark, wk.Policy, err)
+	}
+	if err := sourceErr(wspec, src); err != nil {
+		return nil, err
 	}
 	st, err := co.Snapshot()
 	if err != nil {
@@ -331,7 +378,7 @@ func (r *Runner) buildWarmState(wk warmKey) (*checkpoint.State, error) {
 	r.ckStats.WarmupsExecuted++
 	r.mu.Unlock()
 
-	if r.checkpointDir != "" {
+	if key != "" {
 		if err := checkpoint.Save(r.checkpointDir, key, st); err != nil {
 			return nil, err
 		}
@@ -469,15 +516,22 @@ func Execute(spec RunSpec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	co, err := core.New(prog, c)
+	src, osrc, err := openSource(spec, prog, c)
 	if err != nil {
+		return nil, err
+	}
+	co, err := core.NewWithSource(prog, osrc, c)
+	if err != nil {
+		closeSource(src)
 		return nil, err
 	}
 	warmup, measure := spec.budgets()
 	if err := co.Run(warmup); err != nil {
+		closeSource(src)
 		return nil, fmt.Errorf("%s/%s warmup: %w", spec.Benchmark, spec.Policy, err)
 	}
-	return measureRun(co, spec, measure)
+	res, err := measureRun(co, spec, measure)
+	return finishSource(spec, src, res, err)
 }
 
 // Results returns every memoised result, sorted by spec key — the export
@@ -536,12 +590,17 @@ func VerifyDeterminism(spec RunSpec) error {
 
 // spec builds a RunSpec from options.
 func (o Options) spec(bench, pol string) RunSpec {
-	return RunSpec{
-		Benchmark:     bench,
-		Policy:        pol,
-		Warmup:        o.Warmup,
-		Measure:       o.Measure,
-		CollectSets:   o.CollectSets,
-		NoFastForward: o.NoFastForward,
+	s := RunSpec{
+		Benchmark:         bench,
+		Policy:            pol,
+		Warmup:            o.Warmup,
+		Measure:           o.Measure,
+		CollectSets:       o.CollectSets,
+		NoFastForward:     o.NoFastForward,
+		TraceDifferential: o.TraceDifferential,
 	}
+	if o.TraceDir != "" {
+		s.TracePath = TracePathFor(o.TraceDir, bench)
+	}
+	return s
 }

@@ -1,0 +1,43 @@
+// Checkpoint serialization for the decoder stand-in: by file name this
+// gets the strict map rule — a range over a map may only collect keys
+// that are sorted afterwards, because the captured decode cache feeds a
+// content-addressed byte stream.
+package champsim
+
+import "sort"
+
+// CaptureDecodeCache serializes slot→record in sorted-slot order: the
+// sanctioned sorted-keys idiom, must pass.
+func CaptureDecodeCache(cache map[int]Record) []Record {
+	slots := make([]int, 0, len(cache))
+	for s := range cache {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	out := make([]Record, 0, len(slots))
+	for _, s := range slots {
+		out = append(out, cache[s])
+	}
+	return out
+}
+
+// CaptureDecodeCacheDirect appends records in map-iteration order and
+// never sorts: the serialized stream would follow map order.
+func CaptureDecodeCacheDirect(cache map[int]Record) []Record {
+	var out []Record
+	for _, r := range cache {
+		out = append(out, r) // want:determinism
+	}
+	return out
+}
+
+// CaptureCopy is a map→map copy — tolerated by the general rule, but
+// banned in serialization files where a refactor could route the copy
+// into the encoded stream unnoticed.
+func CaptureCopy(cache map[int]Record) map[int]Record {
+	out := make(map[int]Record, len(cache))
+	for s, r := range cache {
+		out[s] = r // want:determinism
+	}
+	return out
+}

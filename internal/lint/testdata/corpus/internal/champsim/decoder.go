@@ -1,0 +1,60 @@
+// Package champsim mirrors the trace decoder's shapes against the
+// determinism contracts: chunked decode state is fine, but host clocks,
+// background readahead goroutines, and map-ordered record emission must
+// all flag — a trace replay has to be bit-identical between runs.
+package champsim
+
+import (
+	"sort"
+	"time"
+)
+
+// Record is a decoded trace record stand-in.
+type Record struct {
+	PC     uint64
+	Target uint64
+}
+
+// Stamp timestamps a recorded trace with the host clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want:determinism
+}
+
+// Readahead decodes the next chunk on a background goroutine.
+func Readahead(done chan struct{}) {
+	go func() { close(done) }() // want:determinism
+}
+
+// EmitPending flushes resolved branch targets in map-iteration order: the
+// encoded record stream would differ between runs.
+func EmitPending(pending map[uint64]uint64) []Record {
+	var out []Record
+	for pc, tgt := range pending {
+		out = append(out, Record{PC: pc, Target: tgt}) // want:determinism
+	}
+	return out
+}
+
+// EmitSorted is the sanctioned shape: collect PCs, sort, then emit.
+func EmitSorted(pending map[uint64]uint64) []Record {
+	pcs := make([]uint64, 0, len(pending))
+	for pc := range pending {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	out := make([]Record, 0, len(pcs))
+	for _, pc := range pcs {
+		out = append(out, Record{PC: pc, Target: pending[pc]})
+	}
+	return out
+}
+
+// CountBranches is commutative integer accumulation: order-independent,
+// must pass.
+func CountBranches(pending map[uint64]uint64) uint64 {
+	var n uint64
+	for range pending {
+		n++
+	}
+	return n
+}

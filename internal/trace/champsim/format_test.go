@@ -1,0 +1,83 @@
+package champsim
+
+import (
+	"testing"
+
+	"pdip/internal/isa"
+)
+
+// TestRecordEncodeDecode checks the byte-level codec round-trips every
+// field.
+func TestRecordEncodeDecode(t *testing.T) {
+	rec := Record{
+		IP:          0x4000_1234,
+		IsBranch:    1,
+		BranchTaken: 1,
+		DestRegs:    [2]uint8{regIP, regSP},
+		SrcRegs:     [4]uint8{regIP, regSP, regFlags, 7},
+		DestMem:     [2]uint64{0xdead, 0xbeef},
+		SrcMem:      [4]uint64{1, 2, 3, sizeMagic | 5},
+	}
+	var b [RecordSize]byte
+	rec.Encode(b[:])
+	got, err := DecodeRecord(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+	if _, err := DecodeRecord(b[:RecordSize-1]); err == nil {
+		t.Fatal("DecodeRecord accepted a short buffer")
+	}
+}
+
+// TestKindRoundTrip checks every branch kind survives encode → ChampSim's
+// register-predicate classification → decode.
+func TestKindRoundTrip(t *testing.T) {
+	kinds := []isa.BranchKind{
+		isa.NotBranch, isa.CondDirect, isa.UncondDirect, isa.DirectCall,
+		isa.IndirectJump, isa.IndirectCall, isa.Return,
+	}
+	for _, k := range kinds {
+		in := isa.Inst{PC: 0x1000, Size: 4, Kind: k, Taken: k != isa.NotBranch}
+		var rec Record
+		encodeInst(&rec, in)
+		if got := rec.Kind(); got != k {
+			t.Errorf("kind %v classified as %v after encode", k, got)
+		}
+	}
+}
+
+// TestInstConversion checks target/size/taken reconstruction paths.
+func TestInstConversion(t *testing.T) {
+	// Taken conditional: target is the next record's IP, size from magic.
+	var rec Record
+	encodeInst(&rec, isa.Inst{PC: 0x1000, Size: 3, Kind: isa.CondDirect, Taken: true, Target: 0x2000})
+	in := rec.inst(0x2000)
+	want := isa.Inst{PC: 0x1000, Size: 3, Kind: isa.CondDirect, Taken: true, Target: 0x2000}
+	if in != want {
+		t.Errorf("taken cond: got %+v want %+v", in, want)
+	}
+
+	// Not-taken conditional: no target, fall-through next IP.
+	encodeInst(&rec, isa.Inst{PC: 0x1000, Size: 3, Kind: isa.CondDirect})
+	in = rec.inst(0x1003)
+	want = isa.Inst{PC: 0x1000, Size: 3, Kind: isa.CondDirect}
+	if in != want {
+		t.Errorf("not-taken cond: got %+v want %+v", in, want)
+	}
+
+	// Foreign trace (no size magic): not-taken size from the IP delta,
+	// taken size defaults to 4.
+	rec = Record{IP: 0x1000}
+	if in := rec.inst(0x1002); in.Size != 2 {
+		t.Errorf("delta size: got %d want 2", in.Size)
+	}
+	rec = Record{IP: 0x1000, IsBranch: 1, BranchTaken: 1}
+	rec.DestRegs[0] = regIP
+	rec.SrcRegs[0] = regIP
+	if in := rec.inst(0x9000); in.Size != 4 || !in.Taken || in.Target != 0x9000 {
+		t.Errorf("foreign taken jump: got %+v", in)
+	}
+}

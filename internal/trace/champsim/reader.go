@@ -1,0 +1,191 @@
+package champsim
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// chunkRecords is how many records a reader buffers per file read: 64 KiB
+// chunks amortize syscall (and gzip inflate) cost while keeping the
+// resident footprint constant — the trace is never materialized whole.
+const chunkRecords = 1024
+
+// Reader streams records from a ChampSim trace file (raw or gzipped, by
+// ".gz" suffix), wrapping to the beginning when the trace runs out so a
+// short trace can drive an arbitrarily long run — ChampSim's own repeat
+// behaviour. All steady-state reads go through one preallocated chunk
+// buffer: after Open, Next allocates nothing on raw traces.
+type Reader struct {
+	path string
+	f    *os.File
+	zr   *gzip.Reader
+	gz   bool
+
+	// buf is the chunk buffer; pos/n delimit the unconsumed window.
+	buf []byte
+	pos int
+	n   int
+
+	// recInPass counts records consumed since the last rewind,
+	// passRecords the total per pass, wraps the completed passes.
+	recInPass   uint64
+	passRecords uint64
+	wraps       uint64
+}
+
+// OpenReader opens a trace file and validates its framing: the byte
+// length must be a non-zero multiple of the record size (gzipped traces
+// pay one counting pass at open to establish it).
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{
+		path: path,
+		f:    f,
+		gz:   strings.HasSuffix(path, ".gz"),
+		buf:  make([]byte, chunkRecords*RecordSize),
+	}
+	if r.gz {
+		if r.zr, err = gzip.NewReader(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("champsim: %s: %w", path, err)
+		}
+		var total uint64
+		for {
+			n, err := r.zr.Read(r.buf)
+			total += uint64(n)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("champsim: %s: %w", path, err)
+			}
+		}
+		if total%RecordSize != 0 {
+			f.Close()
+			return nil, fmt.Errorf("champsim: %s: %d bytes is not a whole number of %d-byte records", path, total, RecordSize)
+		}
+		r.passRecords = total / RecordSize
+	} else {
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if st.Size()%RecordSize != 0 {
+			f.Close()
+			return nil, fmt.Errorf("champsim: %s: %d bytes is not a whole number of %d-byte records", path, st.Size(), RecordSize)
+		}
+		r.passRecords = uint64(st.Size()) / RecordSize
+	}
+	if r.passRecords == 0 {
+		f.Close()
+		return nil, fmt.Errorf("champsim: %s: empty trace", path)
+	}
+	if err := r.rewind(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// src is the underlying byte stream (inflated for gzipped traces).
+func (r *Reader) src() io.Reader {
+	if r.gz {
+		return r.zr
+	}
+	return r.f
+}
+
+// rewind repositions the stream at record 0.
+func (r *Reader) rewind() error {
+	if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("champsim: %s: %w", r.path, err)
+	}
+	if r.gz {
+		if err := r.zr.Reset(r.f); err != nil {
+			return fmt.Errorf("champsim: %s: %w", r.path, err)
+		}
+	}
+	r.pos, r.n = 0, 0
+	r.recInPass = 0
+	return nil
+}
+
+// fill refreshes the chunk window, wrapping to the start of the trace at
+// the end of a pass.
+func (r *Reader) fill() error {
+	if r.recInPass == r.passRecords {
+		if err := r.rewind(); err != nil {
+			return err
+		}
+		r.wraps++
+	}
+	want := r.passRecords - r.recInPass
+	if want > chunkRecords {
+		want = chunkRecords
+	}
+	b := r.buf[:want*RecordSize]
+	if _, err := io.ReadFull(r.src(), b); err != nil {
+		return fmt.Errorf("champsim: %s: record %d: %w", r.path, r.recInPass, err)
+	}
+	r.pos, r.n = 0, len(b)
+	return nil
+}
+
+// Next decodes the next record into rec.
+func (r *Reader) Next(rec *Record) error {
+	if r.pos == r.n {
+		if err := r.fill(); err != nil {
+			return err
+		}
+	}
+	decodeInto(rec, r.buf[r.pos:r.pos+RecordSize])
+	r.pos += RecordSize
+	r.recInPass++
+	return nil
+}
+
+// SeekRecord repositions the stream so the next Next returns record
+// abs%Records(). Gzipped traces rewind and discard; raw traces seek.
+func (r *Reader) SeekRecord(abs uint64) error {
+	target := abs % r.passRecords
+	if err := r.rewind(); err != nil {
+		return err
+	}
+	r.wraps = abs / r.passRecords
+	if r.gz {
+		var rec Record
+		for i := uint64(0); i < target; i++ {
+			if err := r.Next(&rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := r.f.Seek(int64(target)*RecordSize, io.SeekStart); err != nil {
+		return fmt.Errorf("champsim: %s: %w", r.path, err)
+	}
+	r.recInPass = target
+	return nil
+}
+
+// Records returns the number of records in one pass over the trace.
+func (r *Reader) Records() uint64 { return r.passRecords }
+
+// Wraps returns how many times the reader has wrapped to record 0.
+func (r *Reader) Wraps() uint64 { return r.wraps }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error {
+	if r.zr != nil {
+		r.zr.Close()
+	}
+	return r.f.Close()
+}

@@ -1,0 +1,74 @@
+package champsim
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+
+	"pdip/internal/isa"
+)
+
+// Writer serializes an instruction stream as a ChampSim trace. One
+// fixed scratch record is reused across writes.
+type Writer struct {
+	w       io.Writer
+	f       *os.File
+	bw      *bufio.Writer
+	zw      *gzip.Writer
+	scratch [RecordSize]byte
+	rec     Record
+	n       uint64
+}
+
+// NewWriter writes records to w (no compression, no buffering beyond w's
+// own).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Create opens path for writing, gzipping when it ends in ".gz".
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	w.w = w.bw
+	if strings.HasSuffix(path, ".gz") {
+		w.zw = gzip.NewWriter(w.bw)
+		w.w = w.zw
+	}
+	return w, nil
+}
+
+// WriteInst appends one instruction.
+func (w *Writer) WriteInst(in isa.Inst) error {
+	encodeInst(&w.rec, in)
+	w.rec.Encode(w.scratch[:])
+	if _, err := w.w.Write(w.scratch[:]); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Records returns how many instructions have been written.
+func (w *Writer) Records() uint64 { return w.n }
+
+// Close flushes and closes the underlying file (when Create'd).
+func (w *Writer) Close() error {
+	if w.zw != nil {
+		if err := w.zw.Close(); err != nil {
+			return err
+		}
+	}
+	if w.bw != nil {
+		if err := w.bw.Flush(); err != nil {
+			return err
+		}
+	}
+	if w.f != nil {
+		return w.f.Close()
+	}
+	return nil
+}

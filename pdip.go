@@ -81,6 +81,16 @@ type MetricsExport = metrics.Export
 // Run executes one simulation run without memoisation.
 func Run(spec RunSpec) (*RunResult, error) { return harness.Execute(spec) }
 
+// RecordTrace exports spec's synthetic instruction stream as a ChampSim
+// trace at path (gzipped when path ends in ".gz"). n instructions are
+// recorded; n == 0 sizes the trace to the spec's warmup+measure budget
+// plus enough slack that replaying the same spec never wraps. The
+// recorded trace replays bit-identically through RunSpec.TracePath with
+// TraceDifferential set.
+func RecordTrace(spec RunSpec, path string, n uint64) error {
+	return harness.RecordTrace(spec, path, n)
+}
+
 // VerifyDeterminism runs spec twice from scratch and returns an error
 // describing the first divergence if the two full metric snapshots are not
 // bit-identical. Deterministic replay is the simulator's core correctness

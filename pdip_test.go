@@ -12,8 +12,8 @@ func TestPublicRegistries(t *testing.T) {
 	if len(Policies()) == 0 {
 		t.Fatal("empty policy registry")
 	}
-	if len(Experiments()) != 14 {
-		t.Fatalf("%d experiments, want 14 (every table and figure plus ablations)", len(Experiments()))
+	if len(Experiments()) != 15 {
+		t.Fatalf("%d experiments, want 15 (every table and figure plus ablations and the trace cross-check)", len(Experiments()))
 	}
 	if _, err := BenchmarkByName("tpcc"); err != nil {
 		t.Fatal(err)
