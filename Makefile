@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build fmt-check vet test race determinism golden check bench clean
-.PHONY: lint check-invariant fuzz bench-track bench-diff perf-smoke trace-suite
+.PHONY: lint check-invariant fuzz bench-track bench-diff perf-smoke trace-suite socket
 
 all: build
 
@@ -67,7 +67,15 @@ trace-suite:
 	$(GO) test ./internal/trace/... -count=1
 	$(GO) test ./internal/harness -run 'TestGoldenMetricsTraceRoundTrip|TestRecordTrace|TestTrace' -count=1 -v
 
-check: fmt-check vet build lint test race determinism golden
+# Socket/multi-tenant gate: the Socket{N:1} golden-equivalence pin, the
+# 2-tenant interference + determinism acceptance test, and the
+# adversarial socket checkpoint round trip (mid-wrong-path fork of a
+# 2-core socket must replay bit-identically).
+socket:
+	$(GO) test ./internal/harness -run 'TestGoldenSocketEquivalence|TestSocketContentionInterference' -count=1
+	$(GO) test ./internal/core -run 'TestSocket' -count=1
+
+check: fmt-check vet build lint test race determinism golden socket
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem

@@ -10,6 +10,7 @@ package pdip
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -409,6 +410,50 @@ func BenchmarkGridWarmupReuse(b *testing.B) {
 		if _, err := r.RunAll(specs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMicroSocketStep measures one socket arbitration round — N
+// lockstep core ticks plus the socket-wide idle-skip decision and the
+// shared-port traffic they generate — at 2 and 4 cores. The socket path
+// must hold the same zero-alloc steady-state contract as the single-core
+// step (perf-smoke gate), so fills crossing the arbitrated uncore port
+// may not allocate.
+func BenchmarkMicroSocketStep(b *testing.B) {
+	for _, n := range []int{2, 4} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			names := workload.Names()
+			tenants := make([]core.SocketTenant, n)
+			for i := range tenants {
+				prof, err := workload.ByName(names[i%len(names)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				prog, err := prof.Program()
+				if err != nil {
+					b.Fatal(err)
+				}
+				c := core.DefaultConfig()
+				c.Seed = uint64(i + 1)
+				tenants[i] = core.SocketTenant{Prog: prog, Config: c}
+			}
+			s, err := core.NewSocket(tenants, core.SocketConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm every tenant past pool growth so the timed loop is
+			// steady state.
+			if err := s.Run(20_000); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := s.Cycles()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			reportSimCycles(b, s.Cycles()-start)
+		})
 	}
 }
 

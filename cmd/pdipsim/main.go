@@ -9,6 +9,9 @@
 //	pdipsim -bench kafka -record-trace kafka.champsim.gz
 //	pdipsim -bench kafka -policy pdip44 -trace kafka.champsim.gz
 //	pdipsim -bench kafka -policy pdip44 -trace kafka.champsim.gz -trace-differential
+//	pdipsim -bench cassandra -policy pdip44 -cores 2
+//	pdipsim -tenants cassandra/pdip44,tomcat/eip46
+//	pdipsim -tenants a.json,b.json -shared-pdip
 //	pdipsim -list-benchmarks
 //	pdipsim -list-policies
 //	pdipsim -print-config
@@ -19,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pdip"
 	"pdip/internal/profiling"
@@ -45,6 +49,11 @@ func main() {
 		traceDif = flag.Bool("trace-differential", false, "with -trace: cross-check every decoded instruction against the synthetic walker the trace was recorded from; any divergence fails the run")
 		recTrace = flag.String("record-trace", "", "record the benchmark's synthetic instruction stream as a ChampSim trace to this path (gzipped when it ends in .gz) and exit")
 		recN     = flag.Uint64("record-insts", 0, "with -record-trace: instruction count to record (0 = warmup+measure plus no-wrap slack)")
+		cores    = flag.Int("cores", 1, "co-run this many copies of -bench/-policy on one socket (shared L2/L3)")
+		tenants  = flag.String("tenants", "", "comma-separated tenant list, each 'bench/policy' or a .json spec file; co-scheduled on one socket (overrides -cores)")
+		sharedP  = flag.Bool("shared-pdip", false, "multi-tenant: share tenant 0's prefetcher table across all cores instead of per-core tables")
+		l2Res    = flag.Int("l2-reserve", 0, "multi-tenant: guaranteed L2 MSHR slots per tenant (0 = default split)")
+		l3Res    = flag.Int("l3-reserve", 0, "multi-tenant: guaranteed L3 MSHR slots per tenant (0 = default split)")
 	)
 	flag.Parse()
 
@@ -101,6 +110,41 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "pdipsim: recorded %s as a ChampSim trace at %s\n", *bench, *recTrace)
+		return
+	}
+	if *tenants != "" || *cores > 1 {
+		specs, err := tenantSpecs(spec, *tenants, *cores)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdipsim:", err)
+			os.Exit(1)
+		}
+		so := pdip.SocketOptions{SharedPrefetcher: *sharedP, L2Reserve: *l2Res, L3Reserve: *l3Res}
+		sres, err := pdip.RunSocket(specs, so)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdipsim:", err)
+			os.Exit(1)
+		}
+		if *statsOut != "" {
+			if err := writeSocketStats(*statsOut, specs, sres); err != nil {
+				fmt.Fprintln(os.Stderr, "pdipsim:", err)
+				os.Exit(1)
+			}
+			if *statsOut == "-" {
+				return // registry JSON went to stdout; skip the human dump
+			}
+			fmt.Fprintf(os.Stderr, "pdipsim: wrote %d metrics to %s\n",
+				len(sres.Combined.Counters)+len(sres.Combined.Gauges), *statsOut)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(sres); err != nil {
+				fmt.Fprintln(os.Stderr, "pdipsim:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		printSocket(sres, so)
 		return
 	}
 	var res *pdip.RunResult
@@ -160,8 +204,114 @@ func main() {
 		c.PerKilo(r.BPU.CondMispredict), c.PerKilo(r.BPU.BTBMissTaken), c.PerKilo(r.BPU.IndMispredict))
 }
 
+// tenantSpecs builds the socket's per-tenant spec list: either `cores`
+// copies of the base spec, or one spec per -tenants entry. An entry is
+// "bench/policy" or a path to a JSON file ({"benchmark","policy","btb"});
+// warmup, measure, and fast-forward mode always come from the base flags
+// (the socket runs one shared window).
+func tenantSpecs(base pdip.RunSpec, list string, cores int) ([]pdip.RunSpec, error) {
+	if list == "" {
+		if cores < 1 {
+			return nil, fmt.Errorf("-cores %d: need at least one core", cores)
+		}
+		specs := make([]pdip.RunSpec, cores)
+		for i := range specs {
+			specs[i] = base
+		}
+		return specs, nil
+	}
+	var specs []pdip.RunSpec
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		spec := base
+		spec.BTBEntries = 0
+		switch {
+		case strings.HasSuffix(entry, ".json"):
+			data, err := os.ReadFile(entry)
+			if err != nil {
+				return nil, err
+			}
+			var t struct {
+				Benchmark string `json:"benchmark"`
+				Policy    string `json:"policy"`
+				BTB       int    `json:"btb"`
+			}
+			if err := json.Unmarshal(data, &t); err != nil {
+				return nil, fmt.Errorf("%s: %w", entry, err)
+			}
+			spec.Benchmark, spec.Policy, spec.BTBEntries = t.Benchmark, t.Policy, t.BTB
+		case strings.Count(entry, "/") == 1:
+			parts := strings.SplitN(entry, "/", 2)
+			spec.Benchmark, spec.Policy = parts[0], parts[1]
+		default:
+			return nil, fmt.Errorf("-tenants entry %q: want bench/policy or a .json spec file", entry)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// printSocket renders the per-tenant results table and the shared-level
+// interference counters of a multi-tenant run.
+func printSocket(res *pdip.SocketRunResult, so pdip.SocketOptions) {
+	table := "per-core"
+	if so.SharedPrefetcher {
+		table = "shared"
+	}
+	fmt.Printf("socket: %d tenants, shared L2/L3, %s prefetch table, %d cycles\n",
+		len(res.Tenants), table, res.Cycles)
+	fmt.Printf("%-3s %-24s %8s %9s %9s %8s\n", "ID", "BENCH/POLICY", "IPC", "L1I-MPKI", "L2I-MPKI", "FEC%")
+	for i, tr := range res.Tenants {
+		fmt.Printf("%-3d %-24s %8.3f %9.1f %9.1f %7.1f%%\n",
+			i, tr.Spec.Benchmark+"/"+tr.Spec.Policy,
+			tr.Res.IPC(), tr.Res.L1IMPKI(), tr.Res.L2IMPKI(), tr.Res.FECLinePct()*100)
+	}
+	uc := res.Interference.Counters
+	fmt.Printf("uncore: L2 %d accesses / %d misses; L3 %d accesses / %d misses\n",
+		uc["uncore.l2.accesses"], uc["uncore.l2.misses"], uc["uncore.l3.accesses"], uc["uncore.l3.misses"])
+	if len(res.Tenants) > 1 {
+		fmt.Printf("%-3s %9s %10s %10s %10s %10s %10s\n",
+			"ID", "REQUESTS", "L2-STEALS", "L2-XEVICT", "L3-STEALS", "L3-XEVICT", "SPEC-DROP")
+		for i := range res.Tenants {
+			p := fmt.Sprintf("uncore.tenant%d", i)
+			fmt.Printf("%-3d %9d %10d %10d %10d %10d %10d\n", i,
+				uc[p+".requests"],
+				uc[p+".l2.mshr_steals"], uc[p+".l2.cross_evictions"],
+				uc[p+".l3.mshr_steals"], uc[p+".l3.cross_evictions"],
+				uc[p+".spec_dropped"])
+		}
+	}
+}
+
 // writeStats dumps the run's full metrics registry (final snapshot plus any
 // interval samples) as deterministic JSON to path, or stdout for "-".
+// writeSocketStats exports the socket run's combined namespace (each
+// tenant's quota-frozen registry under "tenant<i>." plus the uncore
+// counters) in the same MetricsExport envelope single runs use.
+func writeSocketStats(path string, specs []pdip.RunSpec, res *pdip.SocketRunResult) error {
+	var names []string
+	for _, s := range specs {
+		names = append(names, s.Benchmark+"/"+s.Policy)
+	}
+	exp := pdip.MetricsExport{
+		Benchmark: strings.Join(names, ","),
+		Policy:    "socket",
+		Final:     res.Combined,
+	}
+	if path == "-" {
+		return exp.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func writeStats(path string, res *pdip.RunResult) error {
 	exp := pdip.MetricsExport{
 		Benchmark: res.Spec.Benchmark,

@@ -48,6 +48,9 @@ type Line struct {
 	priority bool
 	// prefetched marks a prefetch-initiated fill not yet demand-hit.
 	prefetched bool
+	// owner is the requester that filled the line (shared levels only;
+	// see owner.go). Always zero with owner tracking off.
+	owner uint8
 }
 
 // Priority reports the EMISSARY P-bit (exported for tests).
@@ -109,6 +112,19 @@ type Cache struct {
 	inflightMin int64
 
 	Stats Stats
+
+	// Owner tracking (shared uncore levels only; see owner.go). Owners is
+	// nil until EnableOwnerTracking, and every owner-mode branch in the hot
+	// path is gated on that nil check so single-core behaviour is
+	// bit-identical to a cache without the feature.
+	Owners        []OwnerStats
+	ownerReserve  int
+	ownerUsed     []int   // in-flight fills per owner (derived from inflightOwner)
+	inflightOwner []uint8 // owner column parallel to inflight
+	// Preallocated scratch for EarliestMSHRFreeFor's retirement simulation.
+	scratchT []int64
+	scratchO []uint8
+	scratchU []int
 }
 
 // New builds a cache level from cfg.
@@ -250,6 +266,10 @@ func (c *Cache) pruneMSHR(now int64) {
 	if len(c.inflight) == 0 || c.inflightMin > now {
 		return
 	}
+	if c.Owners != nil {
+		c.pruneMSHROwned(now)
+		return
+	}
 	keep := c.inflight[:0]
 	min := int64(0)
 	for _, t := range c.inflight {
@@ -284,6 +304,9 @@ type FillOpts struct {
 	Prefetch bool
 	// Priority sets the EMISSARY P-bit on the installed line.
 	Priority bool
+	// Owner attributes the fill to a requester (shared levels only;
+	// ignored unless owner tracking is enabled).
+	Owner uint8
 }
 
 // Fill installs line, completing at readyAt, allocating an MSHR slot for
@@ -303,10 +326,20 @@ func (c *Cache) Fill(line isa.Addr, now, readyAt int64, opts FillOpts) (evicted 
 			c.inflightMin = readyAt
 		}
 		c.inflight = append(c.inflight, readyAt)
+		if c.Owners != nil {
+			c.inflightOwner = append(c.inflightOwner, opts.Owner)
+			c.ownerUsed[opts.Owner]++
+			if c.ownerUsed[opts.Owner] > c.ownerReserve {
+				c.Owners[opts.Owner].MSHRSteals++
+			}
+		}
 	}
 	c.Stats.Fills++
 	if opts.Prefetch {
 		c.Stats.PrefetchFills++
+	}
+	if c.Owners != nil {
+		c.Owners[opts.Owner].Fills++
 	}
 	set, tag := c.addr2set(line)
 	victim := c.pickVictim(c.sets[set], now)
@@ -319,6 +352,10 @@ func (c *Cache) Fill(line isa.Addr, now, readyAt int64, opts FillOpts) (evicted 
 		if e.prefetched {
 			c.Stats.UselessPrefetches++
 		}
+		if c.Owners != nil && e.owner != opts.Owner {
+			c.Owners[e.owner].CrossEvictionsSuffered++
+			c.Owners[opts.Owner].CrossEvictionsCaused++
+		}
 		evicted = isa.Addr(e.tag << isa.LineShift)
 		hadVictim = true
 	}
@@ -330,6 +367,7 @@ func (c *Cache) Fill(line isa.Addr, now, readyAt int64, opts FillOpts) (evicted 
 		readyAt:    readyAt,
 		priority:   opts.Priority,
 		prefetched: opts.Prefetch,
+		owner:      opts.Owner,
 	}
 	if invariant.Enabled && c.find(line) == nil {
 		invariant.Failf("cache %s: line %#x absent immediately after fill", c.cfg.Name, uint64(line))

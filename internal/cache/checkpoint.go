@@ -27,6 +27,14 @@ func (c *Cache) CaptureCheckpoint() checkpoint.CacheState {
 		InflightMin: c.inflightMin,
 		Stats:       checkpoint.CacheStats(c.Stats),
 	}
+	if c.Owners != nil {
+		st.Owner = make([]uint8, 0, n)
+		st.InflightOwner = append([]uint8(nil), c.inflightOwner...)
+		st.Owners = make([]checkpoint.OwnerStats, len(c.Owners))
+		for i, o := range c.Owners {
+			st.Owners[i] = checkpoint.OwnerStats(o)
+		}
+	}
 	k := 0
 	for _, set := range c.sets {
 		for i := range set {
@@ -42,6 +50,9 @@ func (c *Cache) CaptureCheckpoint() checkpoint.CacheState {
 			}
 			if l.prefetched {
 				st.Prefetched.Set(k)
+			}
+			if c.Owners != nil {
+				st.Owner = append(st.Owner, l.owner)
 			}
 			k++
 		}
@@ -66,6 +77,22 @@ func (c *Cache) RestoreCheckpoint(st checkpoint.CacheState) error {
 	if st.Valid.Len() < n || st.Priority.Len() < n || st.Prefetched.Len() < n {
 		return fmt.Errorf("cache %s: checkpoint bitmask shorter than %d lines", c.cfg.Name, n)
 	}
+	if c.Owners != nil {
+		if len(st.Owner) != n {
+			return fmt.Errorf("cache %s: owner-tracked restore needs %d owner entries, checkpoint has %d",
+				c.cfg.Name, n, len(st.Owner))
+		}
+		if len(st.InflightOwner) != len(st.Inflight) {
+			return fmt.Errorf("cache %s: checkpoint has %d in-flight owners for %d in-flight fills",
+				c.cfg.Name, len(st.InflightOwner), len(st.Inflight))
+		}
+		if len(st.Owners) != len(c.Owners) {
+			return fmt.Errorf("cache %s: checkpoint tracks %d owners, cache tracks %d",
+				c.cfg.Name, len(st.Owners), len(c.Owners))
+		}
+	} else if st.Owner != nil {
+		return fmt.Errorf("cache %s: checkpoint carries owner columns but owner tracking is off", c.cfg.Name)
+	}
 	k := 0
 	for _, set := range c.sets {
 		for i := range set {
@@ -77,6 +104,9 @@ func (c *Cache) RestoreCheckpoint(st checkpoint.CacheState) error {
 				priority:   st.Priority.Get(k),
 				prefetched: st.Prefetched.Get(k),
 			}
+			if c.Owners != nil {
+				set[i].owner = st.Owner[k]
+			}
 			k++
 		}
 	}
@@ -84,5 +114,23 @@ func (c *Cache) RestoreCheckpoint(st checkpoint.CacheState) error {
 	c.inflight = append(c.inflight[:0], st.Inflight...)
 	c.inflightMin = st.InflightMin
 	c.Stats = Stats(st.Stats)
+	if c.Owners != nil {
+		c.inflightOwner = append(c.inflightOwner[:0], st.InflightOwner...)
+		// Per-owner occupancy is derived: recount it from the restored
+		// owner column rather than trusting a redundant encoding.
+		for i := range c.ownerUsed {
+			c.ownerUsed[i] = 0
+		}
+		for _, o := range c.inflightOwner {
+			if int(o) >= len(c.ownerUsed) {
+				return fmt.Errorf("cache %s: checkpoint in-flight owner %d outside 0..%d",
+					c.cfg.Name, o, len(c.ownerUsed)-1)
+			}
+			c.ownerUsed[o]++
+		}
+		for i := range c.Owners {
+			c.Owners[i] = OwnerStats(st.Owners[i])
+		}
+	}
 	return nil
 }

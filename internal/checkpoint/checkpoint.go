@@ -40,8 +40,12 @@ import (
 //
 // Version history: 1 = original format (IAGState held WalkerState
 // directly); 2 = instruction sources became a tagged union (SourceState),
-// admitting ChampSim trace replay alongside the synthetic CFG walker.
-const FormatVersion = 2
+// admitting ChampSim trace replay alongside the synthetic CFG walker;
+// 3 = multi-tenant sockets: CacheState grew per-owner attribution columns
+// (Owner/InflightOwner/Owners), HierarchyState grew the Shared flag (a
+// core-private hierarchy skips the uncore-owned L2/L3), and SocketState
+// captures an N-core socket with the shared uncore recorded once.
+const FormatVersion = 3
 
 // State is the complete simulator state at one cycle boundary.
 type State struct {
@@ -158,6 +162,10 @@ type HistogramState struct {
 // and rebuilt by construction.
 type HierarchyState struct {
 	L1I, L1D, L2, L3 CacheState
+	// Shared marks a core-private hierarchy whose L2/L3 are views of a
+	// socket's uncore: their CacheStates are left empty here (the socket
+	// captures the shared levels exactly once, in UncoreState).
+	Shared bool `json:",omitempty"`
 }
 
 // CacheState is one set-associative cache level: every line's metadata
@@ -185,6 +193,26 @@ type CacheState struct {
 	Inflight                    []int64
 	InflightMin                 int64
 	Stats                       CacheStats
+	// Owner attribution columns, present only for shared (owner-tracked)
+	// levels: Owner is the per-line owner column, InflightOwner parallels
+	// Inflight, and Owners holds the per-owner interference counters. The
+	// per-owner in-flight occupancy is derived from InflightOwner at
+	// restore.
+	Owner         []uint8      `json:",omitempty"`
+	InflightOwner []uint8      `json:",omitempty"`
+	Owners        []OwnerStats `json:",omitempty"`
+}
+
+// OwnerStats mirrors cache.OwnerStats field-for-field (a compile-checked
+// struct conversion in the cache package keeps them in lockstep).
+type OwnerStats struct {
+	Fills                  uint64
+	MSHRSteals             uint64
+	DelayedFills           uint64
+	DelayCycles            uint64
+	SpecDropped            uint64
+	CrossEvictionsSuffered uint64
+	CrossEvictionsCaused   uint64
 }
 
 // Bitmask is a packed bool column: entry i lives at bit i%8 of byte i/8.
@@ -624,6 +652,64 @@ type NextLineState struct {
 	Degree  int
 	Emitted uint64
 	Pending []RequestState
+}
+
+// SocketState is the socket-level snapshot of an N-core, shared-uncore
+// simulation: the uncore (shared L2/L3 plus its metric registry) captured
+// exactly once, and each core's full State as a child whose hierarchy
+// section is marked Shared (its L2/L3 columns empty).
+type SocketState struct {
+	// Version is FormatVersion at capture time.
+	Version int
+	// Now is the socket clock (every core's clock is in lockstep with it).
+	Now int64
+	// SharedPrefetcher records the socket's table-sharing mode so a
+	// restore into a differently wired socket fails loudly.
+	SharedPrefetcher bool
+	Uncore           UncoreState
+	Cores            []State
+}
+
+// UncoreState captures the shared half of the socket's memory system.
+type UncoreState struct {
+	L2, L3 CacheState
+	// Metrics holds the uncore registry's owned values (per-tenant traffic
+	// counters; the interference counter funcs restore with the caches).
+	Metrics RegistryState
+}
+
+// EncodeSocket writes a socket state as gzip-compressed JSON, with the
+// same determinism contract as Encode.
+func EncodeSocket(w io.Writer, st *SocketState) error {
+	zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode socket: %w", err)
+	}
+	if err := json.NewEncoder(zw).Encode(st); err != nil {
+		zw.Close()
+		return fmt.Errorf("checkpoint: encode socket: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("checkpoint: encode socket: %w", err)
+	}
+	return nil
+}
+
+// DecodeSocket reads a socket state previously written by EncodeSocket.
+func DecodeSocket(r io.Reader) (*SocketState, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: decode socket: %w", err)
+	}
+	defer zr.Close()
+	var st SocketState
+	if err := json.NewDecoder(zr).Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode socket: %w", err)
+	}
+	if st.Version != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: socket format version %d, want %d", st.Version, FormatVersion)
+	}
+	return &st, nil
 }
 
 // Encode writes st to w as gzip-compressed JSON. Go's encoding/json

@@ -88,6 +88,24 @@ var checkpointManifest = map[string]map[string]string{
 		"L1I": "state", "L1D": "state", "L2": "state", "L3": "state",
 		"DRAMLatency": "config",
 		"inst":        "wiring", "data": "wiring",
+		// shared selects the capture shape (a shared hierarchy skips the
+		// uncore-owned L2/L3); it is wiring decided at construction.
+		"shared": "config",
+	},
+	// Socket-level state: the shared uncore is captured once
+	// (checkpoint.UncoreState), cores as children. targets/finals are Run
+	// bookkeeping re-established by the next Run call, not simulator state.
+	"core.Socket": {
+		"cores": "state", "unc": "state",
+		"cfg": "config", "noFF": "config",
+		"now":     "state",
+		"targets": "diag", "finals": "diag",
+	},
+	"uncore.Uncore": {
+		"L2": "state", "L3": "state",
+		"DRAMLatency": "config",
+		"chain":       "wiring", "ports": "wiring",
+		"reg": "state",
 	},
 	"bpu.BPU": {
 		"Tage": "state", "Ittage": "state", "Btb": "state", "Ras": "state",
@@ -179,6 +197,14 @@ var checkpointManifest = map[string]map[string]string{
 		"setMask": "derived",
 		"tick":    "state", "inflight": "state", "inflightMin": "state",
 		"Stats": "state",
+		// Owner tracking (shared levels): the owner columns are state; the
+		// per-owner occupancy is recounted from InflightOwner at restore,
+		// and the earliest-free scratch is reused per call.
+		"Owners":        "state",
+		"ownerReserve":  "config",
+		"ownerUsed":     "derived",
+		"inflightOwner": "state",
+		"scratchT":      "scratch", "scratchO": "scratch", "scratchU": "scratch",
 	},
 	"bpu.TAGE": {
 		"base": "state", "tables": "state", "hist": "state",
@@ -256,6 +282,13 @@ var checkpointManifest = map[string]map[string]string{
 	"cache.Line": {
 		"valid": "state", "tag": "state", "lru": "state",
 		"readyAt": "state", "priority": "state", "prefetched": "state",
+		"owner": "state",
+	},
+	"cache.OwnerStats": {
+		"Fills": "state", "MSHRSteals": "state",
+		"DelayedFills": "state", "DelayCycles": "state",
+		"SpecDropped":            "state",
+		"CrossEvictionsSuffered": "state", "CrossEvictionsCaused": "state",
 	},
 	"cache.Stats": {
 		"Accesses": "state", "Misses": "state", "InstMisses": "state",
@@ -325,6 +358,7 @@ var checkpointManifest = map[string]map[string]string{
 func checkpointRoots() []reflect.Type {
 	return []reflect.Type{
 		reflect.TypeOf(Core{}),
+		reflect.TypeOf(Socket{}),
 		reflect.TypeOf(pdip.PDIP{}),
 		reflect.TypeOf(eip.EIP{}),
 		reflect.TypeOf(rdip.RDIP{}),

@@ -138,12 +138,19 @@ func NewWithSource(prog *cfg.Program, src trace.OracleSource, c Config) (*Core, 
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	if src == nil && prog == nil {
-		return nil, fmt.Errorf("core: need a program or an instruction source")
-	}
 	hier, err := mem.New(c.Mem)
 	if err != nil {
 		return nil, err
+	}
+	return newCore(prog, src, c, hier)
+}
+
+// newCore assembles a core over an already-built hierarchy. NewWithSource
+// owns the exclusive (single-core) wiring; NewSocket builds core-private
+// hierarchies over a shared uncore and hands them here.
+func newCore(prog *cfg.Program, src trace.OracleSource, c Config, hier *mem.Hierarchy) (*Core, error) {
+	if src == nil && prog == nil {
+		return nil, fmt.Errorf("core: need a program or an instruction source")
 	}
 	bp := bpu.New(c.BPU)
 	oracle := src
@@ -253,6 +260,18 @@ func (co *Core) Run(n uint64) error {
 // After the tick it fast-forwards over provably idle cycles (see
 // fastForward), unless the configuration disables it.
 func (co *Core) step() {
+	co.TickCycle()
+	if !co.cfg.NoFastForward {
+		co.fastForward()
+	}
+}
+
+// TickCycle advances the core exactly one cycle: the per-cycle
+// bookkeeping plus one tick of every pipeline stage. It is step() minus
+// the fast-forward decision, split out so a Socket can interleave N cores
+// cycle by cycle and make the idle-skip decision globally (the skip is
+// only sound when every core in the socket is idle).
+func (co *Core) TickCycle() {
 	co.now++
 	co.ct.pipe.cycles.Inc()
 	if invariant.Enabled && (co.ftq.Len() < 0 || co.ftq.Len() > co.ftq.Depth()) {
@@ -260,9 +279,22 @@ func (co *Core) step() {
 	}
 	co.ct.pipe.ftqOcc.Observe(float64(co.ftq.Len()))
 	co.pipe.Tick(co.now)
-	if !co.cfg.NoFastForward {
-		co.fastForward()
-	}
+}
+
+// NextEventAt lower-bounds the next cycle at which any of the core's
+// stages can act (pipeline.Never when none can). Socket fast-forward takes
+// the minimum across cores.
+func (co *Core) NextEventAt() int64 { return co.pipe.NextEventAt(co.now) }
+
+// SkipIdle applies the bulk bookkeeping for n provably idle cycles — the
+// cycle counter, the constant FTQ-occupancy sample, and per-stage stall
+// attribution — and jumps the clock, exactly as fastForward does for a
+// lone core. The caller guarantees no stage can act in the window.
+func (co *Core) SkipIdle(n int64) {
+	co.ct.pipe.cycles.Add(uint64(n))
+	co.ct.pipe.ftqOcc.ObserveN(float64(co.ftq.Len()), uint64(n))
+	co.pipe.AccountStall(co.now, n)
+	co.now += n
 }
 
 // fastForward skips cycles that cannot change architectural state: every
@@ -281,11 +313,7 @@ func (co *Core) fastForward() {
 	if next <= co.now+1 || next == pipeline.Never {
 		return
 	}
-	n := next - co.now - 1
-	co.ct.pipe.cycles.Add(uint64(n))
-	co.ct.pipe.ftqOcc.ObserveN(float64(co.ftq.Len()), uint64(n))
-	co.pipe.AccountStall(co.now, n)
-	co.now += n
+	co.SkipIdle(next - co.now - 1)
 }
 
 // ResetStats zeroes all measurement counters while keeping architectural

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"pdip/internal/cfg"
+	"pdip/internal/mem"
+	"pdip/internal/metrics"
+	"pdip/internal/pipeline"
+	"pdip/internal/trace"
+	"pdip/internal/uncore"
+)
+
+// SocketTenant describes one core of a socket: its instruction source and
+// its core-private configuration. The shared-level halves of every
+// tenant's Config.Mem (L2, L3, DRAM latency) must agree — there is only
+// one uncore.
+type SocketTenant struct {
+	// Prog is the synthetic program the tenant walks; may be nil when Src
+	// drives the core (trace replay), exactly as in NewWithSource.
+	Prog *cfg.Program
+	// Src optionally replaces the CFG walker with a trace source.
+	Src trace.OracleSource
+	// Config is the tenant's core configuration.
+	Config Config
+}
+
+// SocketConfig sets socket-wide policy.
+type SocketConfig struct {
+	// SharedPrefetcher shares tenant 0's prefetcher instance across every
+	// core — the paper-motivated "one PDIP table for the socket" mode, as
+	// opposed to the default per-core tables. All tenants then train and
+	// query the same table, interleaved in arbitration order.
+	SharedPrefetcher bool
+	// L2Reserve/L3Reserve are the per-tenant reserved MSHR shares at the
+	// shared levels (see uncore.Config; zero picks the default split).
+	L2Reserve, L3Reserve int
+}
+
+// tenantFinal is the crossing snapshot Run records the moment a tenant
+// retires its instruction quota: with co-tenants still running the core
+// keeps executing (it keeps contending for the uncore), but its reported
+// result is frozen at the quota boundary so every tenant is measured over
+// exactly n instructions.
+type tenantFinal struct {
+	done bool
+	res  Result
+	snap metrics.Snapshot
+}
+
+// Socket steps N cores in lockstep against one shared uncore. Arbitration
+// at the shared port is deterministic round-robin: within a cycle the
+// cores tick in rotating order (core (cycle mod N) first), so no tenant
+// holds static priority and a replay of the same tenants is bit-identical.
+// A Socket with one tenant executes the exact single-core path:
+// Socket{N:1} replays the golden grid bit for bit (pinned by
+// TestGoldenSocketEquivalence).
+type Socket struct {
+	cores []*Core
+	unc   *uncore.Uncore
+	cfg   SocketConfig
+
+	now  int64
+	noFF bool
+
+	targets []uint64
+	finals  []tenantFinal
+}
+
+// NewSocket builds a socket over the given tenants. Tenant configs must
+// agree on the shared-level geometry (L2, L3, DRAM) and the fast-forward
+// mode; everything core-private (benchmark, policy, prefetcher, BTB, seed)
+// may differ per tenant.
+func NewSocket(tenants []SocketTenant, sc SocketConfig) (*Socket, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("socket: need at least one tenant")
+	}
+	base := tenants[0].Config
+	for i, t := range tenants {
+		if err := t.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("socket: tenant %d: %w", i, err)
+		}
+		c := t.Config
+		if c.Mem.L2 != base.Mem.L2 || c.Mem.L3 != base.Mem.L3 || c.Mem.DRAMLatency != base.Mem.DRAMLatency {
+			return nil, fmt.Errorf("socket: tenant %d shared-level config (L2/L3/DRAM) differs from tenant 0", i)
+		}
+		if c.NoFastForward != base.NoFastForward {
+			return nil, fmt.Errorf("socket: tenant %d fast-forward mode differs from tenant 0 (idle skip is a socket-wide decision)", i)
+		}
+	}
+	unc, err := uncore.New(uncore.Config{
+		L2:          base.Mem.L2,
+		L3:          base.Mem.L3,
+		DRAMLatency: base.Mem.DRAMLatency,
+		Requesters:  len(tenants),
+		L2Reserve:   sc.L2Reserve,
+		L3Reserve:   sc.L3Reserve,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Socket{
+		cores:   make([]*Core, 0, len(tenants)),
+		unc:     unc,
+		cfg:     sc,
+		noFF:    base.NoFastForward,
+		targets: make([]uint64, len(tenants)),
+		finals:  make([]tenantFinal, len(tenants)),
+	}
+	for i, t := range tenants {
+		c := t.Config
+		if sc.SharedPrefetcher && i > 0 {
+			c.Prefetcher = tenants[0].Config.Prefetcher
+		}
+		hier, err := mem.NewShared(c.Mem, unc.L2, unc.L3, unc.Port(i))
+		if err != nil {
+			return nil, err
+		}
+		co, err := newCore(t.Prog, t.Src, c, hier)
+		if err != nil {
+			return nil, fmt.Errorf("socket: tenant %d: %w", i, err)
+		}
+		s.cores = append(s.cores, co)
+	}
+	return s, nil
+}
+
+// NumCores returns the tenant count.
+func (s *Socket) NumCores() int { return len(s.cores) }
+
+// Core returns tenant i's core (tests and checkpoint probing).
+func (s *Socket) Core(i int) *Core { return s.cores[i] }
+
+// Uncore returns the shared uncore.
+func (s *Socket) Uncore() *uncore.Uncore { return s.unc }
+
+// Cycles returns the socket clock (every core's clock is in lockstep).
+func (s *Socket) Cycles() int64 { return s.now }
+
+// step advances the socket one cycle: every core ticks once, in rotating
+// round-robin order so shared-port priority circulates, then the
+// socket-wide idle skip runs (only when every core is provably idle).
+func (s *Socket) step() {
+	s.now++
+	n := len(s.cores)
+	start := int((s.now - 1) % int64(n))
+	for k := 0; k < n; k++ {
+		s.cores[(start+k)%n].TickCycle()
+	}
+	if !s.noFF {
+		s.fastForward()
+	}
+}
+
+// fastForward is the socket-wide idle skip: the earliest next event across
+// all cores bounds the jump, and every core applies the same bulk stall
+// accounting, keeping the lockstep clocks identical. With one core this
+// is exactly Core.fastForward.
+func (s *Socket) fastForward() {
+	next := pipeline.Never
+	for _, co := range s.cores {
+		if t := co.NextEventAt(); t < next {
+			next = t
+		}
+	}
+	if next <= s.now+1 || next == pipeline.Never {
+		return
+	}
+	n := next - s.now - 1
+	for _, co := range s.cores {
+		co.SkipIdle(n)
+	}
+	s.now += n
+}
+
+// Step advances the socket exactly one arbitration round: one cycle for
+// every core plus any socket-wide idle skip. Exposed for benchmarks
+// (BenchmarkMicroSocketStep) and fine-grained tests; Run is the bulk
+// driver.
+func (s *Socket) Step() { s.step() }
+
+// Run advances the socket until every tenant has retired n more
+// instructions. A tenant that reaches its quota first keeps running — it
+// must keep contending for the shared levels — but its Result and metric
+// snapshot are frozen at the crossing (TenantResult), so each tenant is
+// measured over exactly n instructions. Returns an error when the cycle
+// budget explodes (deadlock guard, as in Core.Run).
+func (s *Socket) Run(n uint64) error {
+	maxPer := 0
+	for i, co := range s.cores {
+		s.targets[i] = co.retired + n
+		s.finals[i] = tenantFinal{}
+		mp := co.cfg.MaxCyclesPerInst
+		if mp <= 0 {
+			mp = 400
+		}
+		if mp > maxPer {
+			maxPer = mp
+		}
+	}
+	budget := s.now + int64(n)*int64(maxPer) + 100_000
+	remaining := len(s.cores)
+	for remaining > 0 {
+		s.step()
+		for i, co := range s.cores {
+			if !s.finals[i].done && co.retired >= s.targets[i] {
+				s.finals[i] = tenantFinal{done: true, res: co.Result(), snap: co.MetricsSnapshot()}
+				remaining--
+			}
+		}
+		if s.now > budget {
+			return fmt.Errorf("socket: cycle budget exceeded (%d cycles, %d tenants unfinished) — likely a deadlock or pathological configuration",
+				s.now, remaining)
+		}
+	}
+	return nil
+}
+
+// TenantResult returns tenant i's result and metric snapshot as frozen at
+// its most recent Run quota crossing.
+func (s *Socket) TenantResult(i int) (Result, metrics.Snapshot) {
+	return s.finals[i].res, s.finals[i].snap
+}
+
+// ResetStats zeroes every tenant's measurement counters and the uncore's
+// (shared stats, per-owner interference, uncore registry), keeping all
+// architectural state warm — the socket-wide post-warmup reset.
+func (s *Socket) ResetStats() {
+	for _, co := range s.cores {
+		co.ResetStats()
+	}
+	s.unc.ResetStats()
+}
+
+// InterferenceSnapshot captures the uncore registry: shared L2/L3 stats
+// plus per-tenant traffic and interference counters.
+func (s *Socket) InterferenceSnapshot() metrics.Snapshot {
+	return s.unc.MetricsSnapshot()
+}
+
+// CombinedSnapshot merges every tenant's registry (prefixed "tenant<i>.")
+// with the uncore registry into one snapshot — the socket-wide state view
+// the determinism and checkpoint tests compare bit for bit.
+func (s *Socket) CombinedSnapshot() metrics.Snapshot {
+	out := metrics.Snapshot{
+		Counters: make(map[string]uint64),
+		Gauges:   make(map[string]float64),
+	}
+	for i, co := range s.cores {
+		prefix := fmt.Sprintf("tenant%d.", i)
+		snap := co.MetricsSnapshot()
+		for name, v := range snap.Counters {
+			out.Counters[prefix+name] = v
+		}
+		for name, v := range snap.Gauges {
+			out.Gauges[prefix+name] = v
+		}
+	}
+	u := s.unc.MetricsSnapshot()
+	for name, v := range u.Counters {
+		out.Counters[name] = v
+	}
+	for name, v := range u.Gauges {
+		out.Gauges[name] = v
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"pdip/internal/checkpoint"
+)
+
+// Snapshot captures the complete socket at a cycle boundary: the shared
+// uncore exactly once, then every core as a child state (whose hierarchy
+// section is marked Shared, so the L2/L3 columns are not duplicated per
+// core). With SharedPrefetcher the one table is captured inside each
+// core's Prefetcher section; the copies are identical (same instance,
+// same instant) and the last restore wins harmlessly.
+func (s *Socket) Snapshot() (*checkpoint.SocketState, error) {
+	st := &checkpoint.SocketState{
+		Version:          checkpoint.FormatVersion,
+		Now:              s.now,
+		SharedPrefetcher: s.cfg.SharedPrefetcher,
+		Uncore:           s.unc.CaptureCheckpoint(),
+		Cores:            make([]checkpoint.State, len(s.cores)),
+	}
+	for i, co := range s.cores {
+		cs, err := co.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("socket: tenant %d: %w", i, err)
+		}
+		st.Cores[i] = *cs
+	}
+	return st, nil
+}
+
+// NewSocketFromSnapshot rebuilds a socket from tenants and sc — which must
+// match the snapshotted socket's shape — then overwrites all state from
+// st. The restored socket replays bit-identically to the original.
+func NewSocketFromSnapshot(tenants []SocketTenant, sc SocketConfig, st *checkpoint.SocketState) (*Socket, error) {
+	if st.Version != checkpoint.FormatVersion {
+		return nil, fmt.Errorf("socket: snapshot format version %d, want %d", st.Version, checkpoint.FormatVersion)
+	}
+	if len(st.Cores) != len(tenants) {
+		return nil, fmt.Errorf("socket: snapshot has %d cores, got %d tenants", len(st.Cores), len(tenants))
+	}
+	if st.SharedPrefetcher != sc.SharedPrefetcher {
+		return nil, fmt.Errorf("socket: snapshot shared-prefetcher=%v, config says %v", st.SharedPrefetcher, sc.SharedPrefetcher)
+	}
+	s, err := NewSocket(tenants, sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.unc.RestoreCheckpoint(st.Uncore); err != nil {
+		return nil, err
+	}
+	for i, co := range s.cores {
+		if err := co.restore(&st.Cores[i]); err != nil {
+			return nil, fmt.Errorf("socket: tenant %d: %w", i, err)
+		}
+	}
+	s.now = st.Now
+	return s, nil
+}

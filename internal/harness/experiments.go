@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"fig16", "Figure 16: prefetch trigger distribution", Fig16},
 		{"ablations", "Ablations: PDIP design choices (§5.1–§5.3, §6.2)", Ablations},
 		{"tracecheck", "Trace replay cross-check: record → ChampSim trace → differential replay vs direct", TraceCheck},
+		{"contention", "Contention: 2 tenants on one socket, per-core vs shared PDIP table", Contention},
 	}
 }
 
@@ -479,6 +480,51 @@ func TraceCheck(r *Runner, o Options) (string, error) {
 			}
 		}
 		t.AddRow(row...)
+	}
+	return t.String(), nil
+}
+
+// Contention is the multi-tenant extension experiment: two tenants
+// (cassandra and tomcat, both under PDIP) co-run on one socket with a
+// shared L2/L3, once with per-core PDIP tables and once sharing one
+// table, against their solo single-core runs. Per tenant it reports the
+// IPC under each mode plus the shared-level interference it suffered in
+// the per-core-table co-run: cross-tenant evictions and MSHR steals at
+// L2. The deltas quantify exactly the prefetcher-vs-prefetcher cache
+// pressure a one-core simulator cannot observe.
+func Contention(r *Runner, o Options) (string, error) {
+	benches := []string{"cassandra", "tomcat"}
+	policy := "pdip44"
+	specs := make([]RunSpec, len(benches))
+	for i, b := range benches {
+		specs[i] = o.spec(b, policy)
+	}
+
+	perCore, err := ExecuteSocket(specs, SocketOptions{})
+	if err != nil {
+		return "", err
+	}
+	shared, err := ExecuteSocket(specs, SocketOptions{SharedPrefetcher: true})
+	if err != nil {
+		return "", err
+	}
+
+	t := stats.NewTable("tenant", "solo IPC", "co-run IPC", "co-run IPC (shared table)", "L2 x-evict", "L2 MSHR steals")
+	for i, b := range benches {
+		solo, err := r.Run(specs[i])
+		if err != nil {
+			return "", err
+		}
+		uc := perCore.Interference.Counters
+		p := fmt.Sprintf("uncore.tenant%d", i)
+		t.AddRow(
+			b+"/"+policy,
+			fmt.Sprintf("%.3f", solo.Res.IPC()),
+			fmt.Sprintf("%.3f", perCore.Tenants[i].Res.IPC()),
+			fmt.Sprintf("%.3f", shared.Tenants[i].Res.IPC()),
+			fmt.Sprintf("%d", uc[p+".l2.cross_evictions"]),
+			fmt.Sprintf("%d", uc[p+".l2.mshr_steals"]),
+		)
 	}
 	return t.String(), nil
 }

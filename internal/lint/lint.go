@@ -14,6 +14,10 @@
 //     internal/cache calls cache internals directly.
 //   - cfgbounds: cache/PDIP geometry literals satisfy the same rules the
 //     runtime validators enforce, so bad configs fail at lint time.
+//   - tenantnamespace: per-tenant metric namespaces are minted only by
+//     their owner — uncore.* inside internal/uncore, tenantN.* by nobody
+//     (it is synthesized at snapshot-merge time) — so no core-private
+//     package can charge counters to another tenant's bill.
 //
 // Diagnostics can be suppressed with a `//lint:ignore <analyzer> <reason>`
 // comment on the offending line or the line directly above it; the reason
@@ -47,6 +51,7 @@ func All() []Analyzer {
 		&CounterOwnership{},
 		&PortDiscipline{},
 		&CfgBounds{},
+		&TenantNamespace{},
 	}
 }
 

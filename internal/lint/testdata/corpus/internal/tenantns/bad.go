@@ -1,0 +1,28 @@
+// Package tenantns exercises the tenantnamespace analyzer from a
+// core-private package: registering into uncore.* or the reserved
+// tenantN.* namespace must be flagged, ordinary namespaces must not.
+package tenantns
+
+import (
+	"fmt"
+
+	"corpus/internal/metrics"
+)
+
+// Register wires this package's counters into reg.
+func Register(reg *metrics.Registry, id int) {
+	reg.Counter("core.retired")                                                  // fine: own namespace
+	reg.Counter("uncore.l2.sneaky")                                              // want:tenantnamespace
+	reg.Gauge("uncore.occupancy")                                                // want:tenantnamespace
+	reg.Histogram("uncore.latency", 1, 2, 4)                                     // want:tenantnamespace
+	reg.CounterFunc("uncore.l3.fills", func() uint64 { return 0 })               // want:tenantnamespace
+	reg.Counter(fmt.Sprintf("uncore.tenant%d.requests", id))                     // want:tenantnamespace
+	reg.Counter("tenant0.ipc")                                                   // want:tenantnamespace
+	reg.GaugeFunc(fmt.Sprintf("tenant%d.mpki", id), func() float64 { return 0 }) // want:tenantnamespace
+	reg.Counter("tenancy.total")                                                 // fine: "tenant" not followed by an index
+	reg.Counter(prefix + ".hits")                                                // fine: non-constant-prefix names are out of scope
+}
+
+var prefix = pick()
+
+func pick() string { return "cache" }

@@ -1,0 +1,18 @@
+// Package uncore is the corpus stand-in for the real shared-level
+// package: it is the one place allowed to mint uncore.* metric names
+// (tenantN.* stays reserved even here).
+package uncore
+
+import (
+	"fmt"
+
+	"corpus/internal/metrics"
+)
+
+// Register mints the shared-level namespaces — all legal here.
+func Register(reg *metrics.Registry, id int) {
+	reg.Counter("uncore.l2.hits")
+	reg.Counter(fmt.Sprintf("uncore.tenant%d.requests", id))
+	reg.CounterFunc("uncore.l3.fills", func() uint64 { return 0 })
+	reg.Counter("tenant1.cycles") // want:tenantnamespace
+}

@@ -1,26 +1,45 @@
 package mem
 
-import "pdip/internal/checkpoint"
+import (
+	"fmt"
 
-// CaptureCheckpoint captures all four cache levels. The port chain itself
-// is stateless wiring and is rebuilt by New at restore.
+	"pdip/internal/checkpoint"
+)
+
+// CaptureCheckpoint captures the hierarchy's cache levels. The port chain
+// itself is stateless wiring and is rebuilt by New at restore. A shared
+// hierarchy (NewShared) captures only its private L1s — the socket
+// snapshots the uncore-owned L2/L3 exactly once — and marks the state so
+// a restore into the wrong wiring fails loudly.
 func (h *Hierarchy) CaptureCheckpoint() checkpoint.HierarchyState {
-	return checkpoint.HierarchyState{
-		L1I: h.L1I.CaptureCheckpoint(),
-		L1D: h.L1D.CaptureCheckpoint(),
-		L2:  h.L2.CaptureCheckpoint(),
-		L3:  h.L3.CaptureCheckpoint(),
+	st := checkpoint.HierarchyState{
+		L1I:    h.L1I.CaptureCheckpoint(),
+		L1D:    h.L1D.CaptureCheckpoint(),
+		Shared: h.shared,
 	}
+	if !h.shared {
+		st.L2 = h.L2.CaptureCheckpoint()
+		st.L3 = h.L3.CaptureCheckpoint()
+	}
+	return st
 }
 
-// RestoreCheckpoint overwrites all four cache levels from a captured
-// state. The hierarchy must have been built with the same geometry.
+// RestoreCheckpoint overwrites the hierarchy's cache levels from a
+// captured state. The hierarchy must have been built with the same
+// geometry and sharing mode; a shared hierarchy restores only its private
+// L1s (the uncore restores the shared levels).
 func (h *Hierarchy) RestoreCheckpoint(st checkpoint.HierarchyState) error {
+	if st.Shared != h.shared {
+		return fmt.Errorf("mem: checkpoint shared=%v, hierarchy shared=%v", st.Shared, h.shared)
+	}
 	if err := h.L1I.RestoreCheckpoint(st.L1I); err != nil {
 		return err
 	}
 	if err := h.L1D.RestoreCheckpoint(st.L1D); err != nil {
 		return err
+	}
+	if h.shared {
+		return nil
 	}
 	if err := h.L2.RestoreCheckpoint(st.L2); err != nil {
 		return err

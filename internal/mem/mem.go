@@ -68,6 +68,11 @@ type Hierarchy struct {
 
 	inst *l1Port // L1I front port (fetch/prefetch/prime)
 	data *l1Port // L1D front port (demand data)
+
+	// shared marks a core-private hierarchy whose L2/L3 are views of an
+	// uncore owned elsewhere (see NewShared): checkpoint capture skips
+	// them so the socket snapshots the shared levels exactly once.
+	shared bool
 }
 
 // New builds a hierarchy from cfg and wires its port chain:

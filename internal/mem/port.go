@@ -85,6 +85,13 @@ type Req struct {
 	// Reserve is the MSHR headroom kept free for demand fetches
 	// (OpPrefetch/OpPrime only).
 	Reserve int
+	// Src identifies the requesting core at shared (owner-tracked) levels.
+	// Stamped by the uncore's tenant ports; zero in a single-core chain.
+	Src uint8
+	// Speculative marks a fill that originated from a prefetch-class
+	// request (OpPrefetch/OpPrime). A contended shared level drops such
+	// fills rather than queueing them behind another tenant's misses.
+	Speculative bool
 }
 
 // Port is one side of a request/response link in the hierarchy. Send
@@ -123,6 +130,9 @@ func (p *levelPort) Send(req Req) AccessResult {
 	}
 	// Lookup latency to determine the miss, then forward downstream.
 	t := req.At + int64(p.c.Config().HitLatency)
+	if p.c.OwnersEnabled() {
+		return p.sendMissOwned(req, t)
+	}
 	issueAt := t
 	if p.gateMSHR {
 		issueAt = p.c.EarliestMSHRFree(t)
@@ -141,17 +151,58 @@ func (p *levelPort) Send(req Req) AccessResult {
 	return AccessResult{Done: ready, ServedBy: down.ServedBy}
 }
 
+// sendMissOwned is the miss path when the level tracks per-requester MSHR
+// ownership (a shared uncore level). Demand-origin fills wait for the
+// requester's quota — the wait is charged to that requester, not to its
+// co-tenants — while speculative fills drop when the quota is exhausted.
+// The MSHR disciplines mirror the exclusive path: a gating level delays
+// the downstream issue, a non-gating level bounds its reply.
+func (p *levelPort) sendMissOwned(req Req, t int64) AccessResult {
+	owner := int(req.Src)
+	if req.Speculative && !p.c.OwnerCanIssue(t, owner) {
+		p.c.Owners[owner].SpecDropped++
+		return AccessResult{Dropped: true, Reason: DropMSHR}
+	}
+	start := p.c.EarliestMSHRFreeFor(t, owner)
+	if start > t {
+		p.c.Owners[owner].DelayedFills++
+		p.c.Owners[owner].DelayCycles += uint64(start - t)
+	}
+	issueAt := t
+	if p.gateMSHR {
+		issueAt = start
+	}
+	down := p.down.Send(Req{
+		Op: OpFill, Line: req.Line, At: issueAt, Class: req.Class,
+		Src: req.Src, Speculative: req.Speculative,
+	})
+	if down.Dropped {
+		// A deeper shared level refused the speculative fill; install
+		// nothing here either (inclusion: never hold a line L3 refused).
+		return down
+	}
+	ready := down.Done
+	if !p.gateMSHR && start > ready {
+		ready = start
+	}
+	p.c.Fill(req.Line, t, ready, cache.FillOpts{Owner: req.Src})
+	if invariant.Enabled && !p.c.Contains(req.Line) {
+		invariant.Failf("level %s: line %#x absent after inclusive fill", p.level, uint64(req.Line))
+	}
+	return AccessResult{Done: ready, ServedBy: down.ServedBy}
+}
+
 // l1Port fronts a first-level cache (L1I or L1D) and implements the
 // demand and prefetch disciplines of §5: demand misses wait for an MSHR,
 // prefetch-class fills are dropped when the line is present or headroom
 // (minus the demand reserve) is exhausted.
 type l1Port struct {
 	c *cache.Cache
-	// down is the concrete shared L2 port rather than a Port interface:
-	// the L1→L2 hop is the hottest edge in the chain and the hierarchy
-	// wiring is fixed (see New), so there is nothing to substitute and the
-	// direct call devirtualises every miss-path send.
-	down  *levelPort
+	// down is the L2-facing port: the exclusive levelPort chain in a
+	// single-core hierarchy (New), or a tenant port into the shared uncore
+	// (NewShared). Only the miss path crosses it, so the interface call is
+	// off the L1-hit fast path.
+	down  Port
 	class cache.Class
 }
 
@@ -178,7 +229,9 @@ func (p *l1Port) sendDemand(req Req) AccessResult {
 		}
 	}
 	start := p.c.EarliestMSHRFree(req.At)
-	down := p.down.Send(Req{Op: OpFill, Line: req.Line, At: start, Class: p.class})
+	// Demand-origin fills are never dropped downstream (only speculative
+	// fills drop at a contended shared level), so no Dropped check here.
+	down := p.down.Send(Req{Op: OpFill, Line: req.Line, At: start, Class: p.class, Src: req.Src})
 	p.c.Fill(req.Line, req.At, down.Done, cache.FillOpts{Priority: req.Priority})
 	return AccessResult{Done: down.Done, ServedBy: down.ServedBy}
 }
@@ -195,7 +248,15 @@ func (p *l1Port) sendPrefetch(req Req) AccessResult {
 	if p.c.MSHRFree(req.At) <= req.Reserve {
 		return AccessResult{Dropped: true, Reason: DropMSHR}
 	}
-	down := p.down.Send(Req{Op: OpFill, Line: req.Line, At: req.At, Class: p.class})
+	down := p.down.Send(Req{
+		Op: OpFill, Line: req.Line, At: req.At, Class: p.class,
+		Src: req.Src, Speculative: true,
+	})
+	if down.Dropped {
+		// A contended shared level refused the speculative fill; surface
+		// the drop so the PQ's drop classification attributes it.
+		return down
+	}
 	p.c.Fill(req.Line, req.At, down.Done, cache.FillOpts{
 		Prefetch: req.Op == OpPrefetch,
 		Priority: req.Priority,

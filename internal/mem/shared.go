@@ -1,0 +1,50 @@
+// Shared-uncore wiring: a multi-core socket owns one L2/L3 chain (built
+// here, managed by internal/uncore) while each core keeps a core-private
+// Hierarchy holding only its L1I/L1D, whose miss traffic exits through a
+// port the uncore hands it. The Hierarchy keeps views of the shared caches
+// so per-core metric bindings and EMISSARY promotion keep working
+// unchanged.
+package mem
+
+import "pdip/internal/cache"
+
+// NewSharedChain wires the shared half of the port chain — L2 → L3 → DRAM
+// — and returns its upstream (L2-facing) port. The caches are built by the
+// caller (internal/uncore), typically with owner tracking enabled so MSHR
+// contention and eviction interference attribute to tenants. The MSHR
+// disciplines match New: the L3 gates its downstream issue, the L2 bounds
+// its reply.
+func NewSharedChain(l2, l3 *cache.Cache, dramLatency int) Port {
+	if dramLatency <= 0 {
+		dramLatency = 150
+	}
+	l3p := &levelPort{c: l3, down: &dramPort{latency: dramLatency}, level: LevelL3, gateMSHR: true}
+	return &levelPort{c: l2, down: l3p, level: LevelL2}
+}
+
+// NewShared builds the core-private half of a hierarchy — fresh L1I and
+// L1D — whose miss traffic exits through down, a tenant port into a shared
+// uncore. l2 and l3 are the shared caches behind that port, kept as views
+// so Hierarchy.PromoteInstLine and the core's cache.l2/cache.l3 metric
+// bindings observe the shared state.
+func NewShared(cfg Config, l2, l3 *cache.Cache, down Port) (*Hierarchy, error) {
+	l1i, err := cache.New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	dram := cfg.DRAMLatency
+	if dram <= 0 {
+		dram = 150
+	}
+	h := &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, L3: l3, DRAMLatency: dram, shared: true}
+	h.inst = &l1Port{c: l1i, down: down, class: cache.ClassInst}
+	h.data = &l1Port{c: l1d, down: down, class: cache.ClassData}
+	return h, nil
+}
+
+// Shared reports whether L2/L3 are views of an uncore owned elsewhere.
+func (h *Hierarchy) Shared() bool { return h.shared }

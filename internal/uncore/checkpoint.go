@@ -1,0 +1,27 @@
+package uncore
+
+import "pdip/internal/checkpoint"
+
+// CaptureCheckpoint captures the shared levels (including their per-owner
+// attribution columns) and the uncore registry's owned counters. The port
+// wiring is stateless and rebuilt by New.
+func (u *Uncore) CaptureCheckpoint() checkpoint.UncoreState {
+	return checkpoint.UncoreState{
+		L2:      u.L2.CaptureCheckpoint(),
+		L3:      u.L3.CaptureCheckpoint(),
+		Metrics: u.reg.CaptureCheckpoint(),
+	}
+}
+
+// RestoreCheckpoint overwrites the shared levels and the uncore registry
+// from a captured state. The uncore must have been built with the same
+// geometry and requester count.
+func (u *Uncore) RestoreCheckpoint(st checkpoint.UncoreState) error {
+	if err := u.L2.RestoreCheckpoint(st.L2); err != nil {
+		return err
+	}
+	if err := u.L3.RestoreCheckpoint(st.L3); err != nil {
+		return err
+	}
+	return u.reg.RestoreCheckpoint(st.Metrics)
+}

@@ -78,8 +78,27 @@ type Sample = metrics.Sample
 // the final snapshot plus any interval samples.
 type MetricsExport = metrics.Export
 
+// SocketOptions sets socket-wide policy for a multi-tenant run: the
+// shared-vs-per-core PDIP table mode and the per-tenant MSHR reservation
+// at the shared levels.
+type SocketOptions = harness.SocketOptions
+
+// SocketRunResult packages one multi-tenant run: per-tenant results plus
+// the shared-level (uncore) interference counters.
+type SocketRunResult = harness.SocketRunResult
+
 // Run executes one simulation run without memoisation.
 func Run(spec RunSpec) (*RunResult, error) { return harness.Execute(spec) }
+
+// RunSocket co-schedules one core per spec against a shared L2/L3 uncore
+// with deterministic round-robin arbitration, and reports each tenant's
+// result (measured over exactly its own instruction budget) alongside the
+// shared-level interference counters (per-tenant traffic, MSHR steals,
+// cross-tenant evictions). All specs must carry the same warmup/measure
+// budgets. A single-spec call is bit-identical to Run.
+func RunSocket(specs []RunSpec, so SocketOptions) (*SocketRunResult, error) {
+	return harness.ExecuteSocket(specs, so)
+}
 
 // RecordTrace exports spec's synthetic instruction stream as a ChampSim
 // trace at path (gzipped when path ends in ".gz"). n instructions are

@@ -12,8 +12,8 @@ func TestPublicRegistries(t *testing.T) {
 	if len(Policies()) == 0 {
 		t.Fatal("empty policy registry")
 	}
-	if len(Experiments()) != 15 {
-		t.Fatalf("%d experiments, want 15 (every table and figure plus ablations and the trace cross-check)", len(Experiments()))
+	if len(Experiments()) != 16 {
+		t.Fatalf("%d experiments, want 16 (every table and figure plus ablations, the trace cross-check, and contention)", len(Experiments()))
 	}
 	if _, err := BenchmarkByName("tpcc"); err != nil {
 		t.Fatal(err)
