@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build fmt-check vet test race determinism golden check bench clean
-.PHONY: lint check-invariant fuzz bench-track bench-diff perf-smoke trace-suite socket
+.PHONY: lint lint-fix-report check-invariant fuzz bench-track bench-diff perf-smoke trace-suite socket
 
 all: build
 
@@ -18,11 +18,18 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis (cmd/simlint): determinism, counter
-# ownership, port discipline, and config-geometry contracts, enforced at
-# the offending line. Stdlib-only; see internal/lint.
+# Repo-specific static analysis (cmd/simlint): per-package analyzers
+# (determinism, counter ownership, port discipline, config geometry,
+# tenant namespaces) plus whole-program passes (checkpoint coverage,
+# escape-analysis hot-path gate, interprocedural determinism taint),
+# enforced at the offending line. Stdlib-only; see internal/lint.
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# Triage view of the same run: diagnostics grouped per analyzer,
+# worst-offending analyzer first, for working through a backlog.
+lint-fix-report:
+	$(GO) run ./cmd/simlint -report ./...
 
 test:
 	$(GO) test ./...

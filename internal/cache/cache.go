@@ -198,6 +198,8 @@ type LookupResult struct {
 }
 
 // Access performs a demand lookup at cycle now, updating LRU and stats.
+//
+//lint:hotpath
 func (c *Cache) Access(line isa.Addr, now int64, class Class) LookupResult {
 	c.Stats.Accesses++
 	e := c.find(line)
@@ -262,6 +264,8 @@ func (c *Cache) EarliestMSHRFree(now int64) int64 {
 // the common case — nothing drains this cycle — a single comparison; when
 // something does drain, one pass compacts the slice in place (reusing the
 // backing array) and recomputes the minimum as it goes.
+//
+//lint:hotpath
 func (c *Cache) pruneMSHR(now int64) {
 	if len(c.inflight) == 0 || c.inflightMin > now {
 		return

@@ -271,6 +271,8 @@ func (co *Core) step() {
 // the fast-forward decision, split out so a Socket can interleave N cores
 // cycle by cycle and make the idle-skip decision globally (the skip is
 // only sound when every core in the socket is idle).
+//
+//lint:hotpath
 func (co *Core) TickCycle() {
 	co.now++
 	co.ct.pipe.cycles.Inc()

@@ -28,6 +28,7 @@ func (co *Core) newUop() *frontend.Uop {
 		*u = frontend.Uop{}
 		return u
 	}
+	//lint:ignore allocfree pool refill when the free list is empty; amortized and recycled via releaseUop
 	return &frontend.Uop{}
 }
 
@@ -56,6 +57,7 @@ func (co *Core) newEpisode() *frontend.LineEpisode {
 		*ep = frontend.LineEpisode{}
 		return ep
 	}
+	//lint:ignore allocfree pool refill when the free list is empty; amortized and recycled via releaseEpisode
 	return &frontend.LineEpisode{}
 }
 

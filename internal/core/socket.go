@@ -140,6 +140,8 @@ func (s *Socket) Cycles() int64 { return s.now }
 // step advances the socket one cycle: every core ticks once, in rotating
 // round-robin order so shared-port priority circulates, then the
 // socket-wide idle skip runs (only when every core is provably idle).
+//
+//lint:hotpath
 func (s *Socket) step() {
 	s.now++
 	n := len(s.cores)

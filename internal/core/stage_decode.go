@@ -24,6 +24,8 @@ type decodeStage struct {
 func (s *decodeStage) Name() string { return "decode" }
 
 // Tick implements pipeline.Stage.
+//
+//lint:hotpath
 func (s *decodeStage) Tick(now int64) {
 	co := s.co
 	ct := &co.ct.decode

@@ -23,6 +23,8 @@ type fetchStage struct {
 func (s *fetchStage) Name() string { return "fetch" }
 
 // Tick implements pipeline.Stage.
+//
+//lint:hotpath
 func (s *fetchStage) Tick(now int64) {
 	width := s.co.cfg.FetchWidth
 	if width <= 0 {
@@ -91,6 +93,7 @@ func (s *fetchStage) startFetch(e *frontend.FTQEntry, now int64) {
 	ready := now
 	e.Episodes = e.Episodes[:0]
 	for _, line := range e.Lines {
+		//lint:ignore allocfree inlined pool refill (core/pool.go newEpisode); amortized once the free list warms
 		ep := co.newEpisode()
 		ep.Line = line
 		ep.WrongPath = e.WrongPath
@@ -151,6 +154,7 @@ func (s *fetchStage) deliver(e *frontend.FTQEntry, now int64) {
 	for i := range e.Insts {
 		in := e.Insts[i]
 		co.seq++
+		//lint:ignore allocfree inlined pool refill (core/pool.go newUop); amortized once the free list warms
 		u := co.newUop()
 		u.Inst = in
 		u.Seq = co.seq

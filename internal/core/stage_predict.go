@@ -21,6 +21,8 @@ type predictStage struct {
 func (s *predictStage) Name() string { return "predict" }
 
 // Tick implements pipeline.Stage.
+//
+//lint:hotpath
 func (s *predictStage) Tick(now int64) {
 	width := s.co.cfg.IAGWidth
 	if width <= 0 {

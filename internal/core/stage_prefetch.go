@@ -21,6 +21,8 @@ type prefetchDrainStage struct {
 func (s *prefetchDrainStage) Name() string { return "prefetch-drain" }
 
 // Tick implements pipeline.Stage.
+//
+//lint:hotpath
 func (s *prefetchDrainStage) Tick(now int64) {
 	co := s.co
 	if invariant.Enabled {

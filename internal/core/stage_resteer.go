@@ -19,6 +19,8 @@ type resteerStage struct {
 func (s *resteerStage) Name() string { return "resteer" }
 
 // Tick implements pipeline.Stage.
+//
+//lint:hotpath
 func (s *resteerStage) Tick(now int64) {
 	co := s.co
 	if !co.hasResteer || now < co.pendingResteer.at {

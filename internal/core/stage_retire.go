@@ -21,6 +21,8 @@ type retireStage struct {
 func (s *retireStage) Name() string { return "retire" }
 
 // Tick implements pipeline.Stage.
+//
+//lint:hotpath
 func (s *retireStage) Tick(now int64) {
 	co := s.co
 	co.retireBuf = co.rob.Retire(now, co.cfg.RetireWidth, co.retireBuf[:0])

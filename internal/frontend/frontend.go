@@ -292,6 +292,7 @@ func (g *IAG) newEntry(wrongPath bool) *FTQEntry {
 		}
 		return e
 	}
+	//lint:ignore allocfree pool refill when the FTQ entry free list is empty; amortized
 	return &FTQEntry{WrongPath: wrongPath}
 }
 
@@ -304,6 +305,7 @@ func (g *IAG) NextEntry() *FTQEntry {
 	if g.wrong != nil {
 		w = g.wrong
 	}
+	//lint:ignore allocfree inlined pool refill (newEntry); amortized once the free list warms
 	e := g.newEntry(g.wrong != nil)
 
 	for len(e.Insts) < g.maxEntryInsts {

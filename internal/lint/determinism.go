@@ -93,11 +93,18 @@ func (d *Determinism) Check(p *Package, rep *Reporter) {
 }
 
 // isCheckpointFile reports whether filename is a checkpoint serialization
-// source file (checkpoint*.go, tests excluded).
+// source file: checkpoint.go, checkpoint_*.go, or *_checkpoint.go, tests
+// excluded. The shapes are deliberate — socket_checkpoint.go is capture
+// code, while a file that merely starts with the word (say,
+// checkpointcoverage.go in the lint package) is not.
 func isCheckpointFile(filename string) bool {
 	base := filepath.Base(filename)
-	return strings.HasPrefix(base, "checkpoint") &&
-		strings.HasSuffix(base, ".go") && !strings.HasSuffix(base, "_test.go")
+	if !strings.HasSuffix(base, ".go") || strings.HasSuffix(base, "_test.go") {
+		return false
+	}
+	return base == "checkpoint.go" ||
+		strings.HasPrefix(base, "checkpoint_") ||
+		strings.HasSuffix(base, "_checkpoint.go")
 }
 
 // checkMapRange classifies the body of a range-over-map statement.

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DeterminismTaint is the interprocedural form of the determinism rule.
+// The syntactic Determinism analyzer only sees direct uses inside
+// simulation packages (module/internal/...); a helper in a non-internal
+// package — the root package, cmd/ tooling shared with the simulator —
+// that reads the wall clock, draws from the global math/rand stream, or
+// leaks map-iteration order would slip through it and still break
+// bit-identical replay the moment simulation code calls it.
+//
+// The per-package pass classifies every function of every non-internal
+// module package as clean or a nondeterminism source (exporting the
+// sources as facts); the program pass propagates taint backwards over the
+// call graph through non-internal callers and reports each call site where
+// an internal package crosses into a tainted function. A
+// `//lint:ignore determinismtaint <reason>` on the source line blesses the
+// source and stops the taint (it is the analyzer's equivalent of auditing
+// the helper); the same directive at the boundary call site suppresses the
+// single report.
+type DeterminismTaint struct{}
+
+// Name implements Analyzer.
+func (*DeterminismTaint) Name() string { return "determinismtaint" }
+
+// Doc implements Analyzer.
+func (*DeterminismTaint) Doc() string {
+	return "forbid simulation packages from calling helpers that transitively reach wall-clock time, global RNG, or map-iteration order"
+}
+
+// taintSource is one nondeterministic operation in a non-internal helper.
+type taintSource struct {
+	fn   *types.Func
+	pos  token.Pos
+	desc string
+}
+
+// taintFact lists the sources found in one package.
+type taintFact struct {
+	sources []taintSource
+}
+
+// Check implements Analyzer: classify functions of non-internal module
+// packages and export the sources.
+func (a *DeterminismTaint) Check(p *Package, rep *Reporter) {
+	module := moduleOf(p.ImportPath)
+	if isInternalPath(module, p.ImportPath) {
+		// Direct uses inside simulation packages are the plain determinism
+		// analyzer's jurisdiction; taint only tracks what leaks in from
+		// outside it.
+		return
+	}
+	fact := &taintFact{}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fn = origin(fn)
+			a.scanBody(p, rep, file, fd, fn, fact)
+		}
+	}
+	if len(fact.sources) > 0 {
+		sort.Slice(fact.sources, func(i, j int) bool { return fact.sources[i].pos < fact.sources[j].pos })
+		rep.Facts().ExportPackageFact(a.Name(), p.ImportPath, fact)
+	}
+}
+
+// scanBody records fd's nondeterminism sources. A //lint:ignore
+// determinismtaint directive on the source line blesses it.
+func (a *DeterminismTaint) scanBody(p *Package, rep *Reporter, file *ast.File, fd *ast.FuncDecl, fn *types.Func, fact *taintFact) {
+	addSource := func(pos token.Pos, desc string) {
+		if rep.Suppressed(a.Name(), pos) {
+			return
+		}
+		fact.sources = append(fact.sources, taintSource{fn: fn, pos: pos, desc: desc})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.SelectorExpr:
+			pkg, name, ok := pkgSel(p, node)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && wallClockFuncs[name]:
+				addSource(node.Pos(), "reads the host clock via time."+name)
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				addSource(node.Pos(), "draws from the global "+pkg+" stream via "+name)
+			}
+		case *ast.RangeStmt:
+			t := p.Info.TypeOf(node.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			a.scanMapRange(p, file, node, addSource)
+		}
+		return true
+	})
+}
+
+// scanMapRange flags the map-order shapes that make a helper's result
+// depend on iteration order: growing an outer slice that is never sorted
+// afterwards, and last-writer-wins assignment to an outer variable.
+func (a *DeterminismTaint) scanMapRange(p *Package, file *ast.File, rs *ast.RangeStmt, addSource func(token.Pos, string)) {
+	appendTargets := map[types.Object]token.Pos{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objOf(p, id)
+			if obj == nil || declaredWithin(obj, rs) || as.Tok == token.DEFINE {
+				continue
+			}
+			if isAppendTo(p, as, i, obj) {
+				if _, seen := appendTargets[obj]; !seen {
+					appendTargets[obj] = as.Pos()
+				}
+				continue
+			}
+			if as.Tok == token.ASSIGN {
+				addSource(as.Pos(), "assigns "+id.Name+" in map-iteration order (last-writer-wins)")
+			}
+		}
+		return true
+	})
+	body := enclosingFunc(file, rs.Pos())
+	var objs []types.Object
+	for obj := range appendTargets {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return appendTargets[objs[i]] < appendTargets[objs[j]] })
+	for _, obj := range objs {
+		if body == nil || !sortedAfter(p, body, rs.End(), obj) {
+			addSource(appendTargets[obj], "builds slice "+obj.Name()+" in map-iteration order without sorting it")
+		}
+	}
+}
+
+// taintInfo records how a tainted function reaches its source.
+type taintInfo struct {
+	src  taintSource
+	next *types.Func // next hop toward the source; nil when fn is the source
+}
+
+// CheckProgram implements WholeProgram: propagate taint backwards from the
+// sources through non-internal callers, and report every call site where
+// an internal (simulation) package crosses into a tainted function.
+func (a *DeterminismTaint) CheckProgram(prog *Program, rep *Reporter) {
+	var sources []taintSource
+	for _, entry := range prog.Facts.AllPackageFacts(a.Name()) {
+		sources = append(sources, entry.Fact.(*taintFact).sources...)
+	}
+	if len(sources) == 0 {
+		return
+	}
+
+	// Reverse call edges, in deterministic order.
+	type revEdge struct {
+		caller *types.Func
+		pos    token.Pos
+	}
+	rev := map[*types.Func][]revEdge{}
+	for _, node := range prog.Calls.Nodes() {
+		for _, edge := range node.Calls {
+			rev[edge.Callee] = append(rev[edge.Callee], revEdge{caller: node.Fn, pos: edge.Pos})
+		}
+	}
+
+	internal := func(fn *types.Func) bool {
+		return fn.Pkg() != nil && isInternalPath(prog.Module, fn.Pkg().Path())
+	}
+
+	taint := map[*types.Func]*taintInfo{}
+	var queue []*types.Func
+	for _, src := range sources {
+		if _, ok := taint[src.fn]; ok {
+			continue
+		}
+		taint[src.fn] = &taintInfo{src: src}
+		queue = append(queue, src.fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		info := taint[fn]
+		for _, e := range rev[fn] {
+			if internal(e.caller) {
+				rep.Reportf(a.Name(), e.pos,
+					"call into %s makes simulation code transitively nondeterministic: %s (%s); thread determinism through explicit state (simulated cycles, internal/rng, sorted iteration)",
+					funcName(fn), info.src.desc, a.chain(taint, fn))
+				continue
+			}
+			if _, ok := taint[e.caller]; ok {
+				continue
+			}
+			taint[e.caller] = &taintInfo{src: info.src, next: fn}
+			queue = append(queue, e.caller)
+		}
+	}
+}
+
+// chain renders the taint path from fn to its source, ending at the
+// source's position.
+func (a *DeterminismTaint) chain(taint map[*types.Func]*taintInfo, fn *types.Func) string {
+	out := ""
+	for cur := fn; cur != nil; {
+		if out != "" {
+			out += " -> "
+		}
+		out += funcName(cur)
+		info := taint[cur]
+		if info == nil {
+			break
+		}
+		cur = info.next
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeDiag is one compiler escape-analysis diagnostic (-gcflags=-m).
+type EscapeDiag struct {
+	// File is the absolute path of the source file.
+	File string
+	// Line and Col locate the diagnostic (1-based, as the compiler
+	// reports them).
+	Line, Col int
+	// Message is the compiler's text ("make([]int, n) escapes to heap",
+	// "moved to heap: x", "can inline f", ...).
+	Message string
+}
+
+// IsHeapAlloc reports whether the diagnostic marks a heap allocation
+// site, as opposed to inlining chatter or non-escaping analysis results.
+// A constant string "escaping" to heap is excluded: the payload is interned
+// static data (the shape panic("msg") and log-message arguments produce),
+// so no per-operation allocation happens — and because inlining attributes
+// the diagnostic to the call site, a syntactic panic filter could not
+// catch these.
+func (d EscapeDiag) IsHeapAlloc() bool {
+	if strings.HasPrefix(d.Message, "\"") && strings.HasSuffix(d.Message, "\" escapes to heap") {
+		return false
+	}
+	return strings.HasSuffix(d.Message, "escapes to heap") ||
+		strings.HasPrefix(d.Message, "moved to heap:")
+}
+
+// EscapeSource provides per-package escape-analysis diagnostics. The
+// production implementation shells out to `go build`; tests may
+// substitute a canned source.
+type EscapeSource interface {
+	// Diagnostics returns the escape diagnostics for each of the given
+	// import paths (all of which must be loaded in prog).
+	Diagnostics(prog *Program, paths []string) (map[string][]EscapeDiag, error)
+}
+
+// GoBuildEscape obtains escape diagnostics by running
+// `go build -gcflags=<pkg>=-m` and caches the per-package compiler output
+// keyed by a content hash of the package and its module-internal
+// dependency closure, so unchanged packages never re-invoke the
+// toolchain.
+type GoBuildEscape struct {
+	// Root is the module root (go build's working directory).
+	Root string
+	// Module is the module path.
+	Module string
+	// CacheDir holds the per-package output cache; empty disables caching.
+	CacheDir string
+
+	// fileHash memoises the per-package hash of its own files.
+	fileHash map[string]string
+}
+
+// NewGoBuildEscape returns a runner caching under root/.simlint-cache.
+func NewGoBuildEscape(root, module string) *GoBuildEscape {
+	return &GoBuildEscape{
+		Root:     root,
+		Module:   module,
+		CacheDir: filepath.Join(root, ".simlint-cache", "escape"),
+		fileHash: map[string]string{},
+	}
+}
+
+// Diagnostics implements EscapeSource. Cache misses are batched into a
+// single `go build` invocation; its per-package output sections are
+// parsed, cached, and returned.
+func (g *GoBuildEscape) Diagnostics(prog *Program, paths []string) (map[string][]EscapeDiag, error) {
+	out := map[string][]EscapeDiag{}
+	var misses []string
+	keys := map[string]string{}
+	for _, path := range paths {
+		p := prog.PackageByPath(path)
+		if p == nil {
+			return nil, fmt.Errorf("escape: package %s not loaded", path)
+		}
+		key, err := g.cacheKey(prog, path)
+		if err != nil {
+			return nil, err
+		}
+		keys[path] = key
+		if raw, ok := g.readCache(key); ok {
+			out[path] = g.parseLines(raw)
+			continue
+		}
+		misses = append(misses, path)
+	}
+	if len(misses) == 0 {
+		return out, nil
+	}
+	sort.Strings(misses)
+	sections, err := g.build(misses)
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range misses {
+		raw := sections[path] // absent => package compiled silently
+		g.writeCache(keys[path], raw)
+		out[path] = g.parseLines(raw)
+	}
+	return out, nil
+}
+
+// build runs one `go build` over paths with -m enabled for each, and
+// splits the compiler output into per-package sections (the go tool
+// prefixes each package's output with a "# importpath" header).
+func (g *GoBuildEscape) build(paths []string) (map[string][]string, error) {
+	args := []string{"build"}
+	for _, path := range paths {
+		args = append(args, "-gcflags="+path+"=-m")
+	}
+	args = append(args, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = g.Root
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	outBytes, err := cmd.CombinedOutput()
+	lines := strings.Split(string(outBytes), "\n")
+	sections := map[string][]string{}
+	cur := ""
+	for _, line := range lines {
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			cur = strings.TrimSpace(rest)
+			continue
+		}
+		if line == "" || cur == "" {
+			continue
+		}
+		sections[cur] = append(sections[cur], line)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("escape: go build failed: %w\n%s", err, string(outBytes))
+	}
+	return sections, nil
+}
+
+// parseLines converts raw compiler output lines ("file:line:col: msg",
+// file relative to the module root) into diagnostics.
+func (g *GoBuildEscape) parseLines(raw []string) []EscapeDiag {
+	var out []EscapeDiag
+	for _, line := range raw {
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := parts[0]
+		if strings.HasPrefix(file, "<") { // <autogenerated>
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(g.Root, file)
+		}
+		out = append(out, EscapeDiag{
+			File:    file,
+			Line:    ln,
+			Col:     col,
+			Message: strings.TrimSpace(parts[3]),
+		})
+	}
+	return out
+}
+
+// cacheKey hashes the package's own files, its module-internal dependency
+// closure's files, and the toolchain version: any change that could alter
+// escape analysis (source, inlinable dependency bodies, compiler)
+// invalidates the entry.
+func (g *GoBuildEscape) cacheKey(prog *Program, path string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, runtime.Version())
+	fmt.Fprintln(h, path)
+	own, err := g.packageHash(prog, path)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintln(h, own)
+	for _, dep := range prog.Graph.TransitiveImports(path) {
+		dh, err := g.packageHash(prog, dep)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(h, dep, dh)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}
+
+// packageHash hashes one package's file names and contents.
+func (g *GoBuildEscape) packageHash(prog *Program, path string) (string, error) {
+	if h, ok := g.fileHash[path]; ok {
+		return h, nil
+	}
+	h := sha256.New()
+	if p := prog.PackageByPath(path); p != nil {
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return "", fmt.Errorf("escape: %w", err)
+			}
+			fmt.Fprintln(h, filepath.Base(name))
+			h.Write(data)
+		}
+	} else {
+		// A dependency outside the loaded set (linting a package subset):
+		// hash its non-test .go files straight from disk. The set may
+		// differ from what the loader would pick (build tags), so subset
+		// and whole-module runs key separately — conservative, never stale.
+		rel, ok := strings.CutPrefix(path, g.Module+"/")
+		if !ok {
+			return "", fmt.Errorf("escape: dependency %s not loaded and not module-internal", path)
+		}
+		entries, err := os.ReadDir(filepath.Join(g.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			return "", fmt.Errorf("escape: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(g.Root, filepath.FromSlash(rel), name))
+			if err != nil {
+				return "", fmt.Errorf("escape: %w", err)
+			}
+			fmt.Fprintln(h, name)
+			h.Write(data)
+		}
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	g.fileHash[path] = sum
+	return sum, nil
+}
+
+// readCache returns the cached raw output lines for key.
+func (g *GoBuildEscape) readCache(key string) ([]string, bool) {
+	if g.CacheDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(g.CacheDir, key+".txt"))
+	if err != nil {
+		return nil, false
+	}
+	text := strings.TrimRight(string(data), "\n")
+	if text == "" {
+		return nil, true
+	}
+	return strings.Split(text, "\n"), true
+}
+
+// writeCache stores raw output lines under key (best effort: a cache
+// write failure never fails the lint run).
+func (g *GoBuildEscape) writeCache(key string, raw []string) {
+	if g.CacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(g.CacheDir, 0o755); err != nil {
+		return
+	}
+	body := strings.Join(raw, "\n")
+	if body != "" {
+		body += "\n"
+	}
+	tmp := filepath.Join(g.CacheDir, key+".tmp")
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(g.CacheDir, key+".txt"))
+}

@@ -12,7 +12,7 @@ import (
 // loadTree loads every package under root with a fresh loader and fails
 // the test on load or type-check errors: the corpus and the repo itself
 // must both be compilable.
-func loadTree(t *testing.T, root string) []*lint.Package {
+func loadTree(t *testing.T, root string) *lint.Program {
 	t.Helper()
 	loader, err := lint.NewLoader(root)
 	if err != nil {
@@ -30,7 +30,7 @@ func loadTree(t *testing.T, root string) []*lint.Package {
 			t.Errorf("%s: type error: %v", p.ImportPath, e)
 		}
 	}
-	return pkgs
+	return lint.NewProgram(loader, pkgs)
 }
 
 // wantMarkers scans the corpus sources for `want:<analyzer>` markers and
@@ -97,14 +97,14 @@ func TestCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs := loadTree(t, root)
+	prog := loadTree(t, root)
 	want := wantMarkers(t, root)
 	if len(want) == 0 {
 		t.Fatal("corpus has no want: markers")
 	}
 
 	matched := map[string]map[string]bool{} // key → analyzers seen
-	for _, d := range lint.Run(pkgs, lint.All()) {
+	for _, d := range lint.Run(prog, lint.All()) {
 		rel, err := filepath.Rel(root, d.Pos.Filename)
 		if err != nil {
 			t.Fatalf("diagnostic outside corpus: %s", d)
@@ -146,8 +146,8 @@ func TestRepoClean(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
 		t.Skipf("module root not found at %s", root)
 	}
-	pkgs := loadTree(t, root)
-	for _, d := range lint.Run(pkgs, lint.All()) {
+	prog := loadTree(t, root)
+	for _, d := range lint.Run(prog, lint.All()) {
 		t.Errorf("repo not lint-clean: %s", d)
 	}
 }
@@ -155,7 +155,10 @@ func TestRepoClean(t *testing.T) {
 // TestAnalyzerMetadata pins the analyzer set and its documentation: the
 // names are part of the //lint:ignore interface.
 func TestAnalyzerMetadata(t *testing.T) {
-	wantNames := []string{"determinism", "counterownership", "portdiscipline", "cfgbounds", "tenantnamespace"}
+	wantNames := []string{
+		"determinism", "counterownership", "portdiscipline", "cfgbounds", "tenantnamespace",
+		"checkpointcoverage", "allocfree", "determinismtaint",
+	}
 	all := lint.All()
 	if len(all) != len(wantNames) {
 		t.Fatalf("got %d analyzers, want %d", len(all), len(wantNames))

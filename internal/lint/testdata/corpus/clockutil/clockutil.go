@@ -1,0 +1,30 @@
+// Package clockutil is a non-internal helper package for the
+// determinismtaint corpus: its functions are legal here, but internal
+// packages that call them (transitively) must be flagged.
+package clockutil
+
+import "time"
+
+// Stamp reads the host clock: a taint source.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Elapsed has a clean body but calls Stamp: the two-hop middle of the
+// taint chain.
+func Elapsed(start int64) int64 { return Stamp() - start }
+
+// Keys returns map keys in iteration order without sorting: a map-order
+// taint source.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Bench reads the host clock too, but the source is blessed: the
+// suppression stops the taint (and, being used, is not stale).
+func Bench() int64 {
+	//lint:ignore determinismtaint benchmark harness helper, audited as non-simulation
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,11 @@
+// Package checkpoint is the corpus mirror tree: serializable snapshots of
+// the corpus sim package's state.
+package checkpoint
+
+// SimState mirrors sim.Machine. Orphan is written by no capture code: the
+// mirror-coverage check must flag it.
+type SimState struct {
+	Cyc    int64
+	Hist   []int64
+	Orphan int // want:checkpointcoverage
+}

@@ -1,0 +1,43 @@
+// Package hot exercises the allocfree analyzer: a //lint:hotpath root, a
+// two-hop reachable allocation, a cold function whose allocation is
+// ignored, and a blessed amortized refill.
+package hot
+
+// sink keeps allocations observable to escape analysis.
+var sink *int
+
+// Step is the per-cycle hot path root.
+//
+//lint:hotpath
+func Step(n int) {
+	grow(n)
+}
+
+// grow allocates on every call: the seeded violation, two hops from the
+// root.
+//
+//go:noinline
+func grow(n int) {
+	p := new(int) // want:allocfree
+	*p = n
+	sink = p
+}
+
+// Cold allocates too, but is not reachable from any hot-path root, so the
+// analyzer stays quiet.
+//
+//go:noinline
+func Cold(n int) *int {
+	p := new(int)
+	*p = n
+	return p
+}
+
+// Refill is a hot-path root with a documented amortized allocation.
+//
+//lint:hotpath
+//go:noinline
+func Refill() {
+	//lint:ignore allocfree corpus pool refill, amortized across the free list
+	sink = new(int)
+}

@@ -1,0 +1,25 @@
+// Package sim is the corpus simulator-state package for the
+// checkpointcoverage analyzer: a root struct with covered, unmanifested,
+// and uncaptured fields, plus a struct the walk reaches that has no
+// manifest entry at all.
+package sim
+
+// Machine is the corpus checkpoint root.
+type Machine struct {
+	cfg  int
+	cyc  int64
+	temp int64 // want:checkpointcoverage
+	hist []Entry
+	lost int64 // want:checkpointcoverage
+	g    Ghost
+}
+
+// Entry is reached through Machine.hist and fully covered.
+type Entry struct {
+	V int64
+}
+
+// Ghost is reached through Machine.g but has no manifest entry.
+type Ghost struct { // want:checkpointcoverage
+	N int
+}

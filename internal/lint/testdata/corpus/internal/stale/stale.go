@@ -1,0 +1,9 @@
+// Package stale carries a suppression whose violation is gone: the
+// staleignore sweep must flag the directive itself.
+package stale
+
+// Tick is clean; the directive below suppresses nothing.
+func Tick(n int) int {
+	//lint:ignore determinism stale blessing kept for the lint corpus (want:staleignore)
+	return n + 1
+}

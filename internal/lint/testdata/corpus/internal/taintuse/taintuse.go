@@ -1,0 +1,23 @@
+// Package taintuse is simulation code that calls transitively
+// nondeterministic helpers from the non-internal clockutil package.
+package taintuse
+
+import "corpus/clockutil"
+
+// T absorbs results so calls are not dead code.
+var T int64
+
+// Tick crosses into a helper that is two hops away from time.Now.
+func Tick(start int64) {
+	T = clockutil.Elapsed(start) // want:determinismtaint
+}
+
+// Names crosses into a helper that leaks map-iteration order.
+func Names(m map[string]int) []string {
+	return clockutil.Keys(m) // want:determinismtaint
+}
+
+// Bless calls the audited helper: the blessed source does not taint.
+func Bless() {
+	T = clockutil.Bench()
+}

@@ -302,8 +302,10 @@ func (r *Registry) Names() []string {
 // are clamped to 0 so snapshots stay JSON-encodable and diffable.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
+		//lint:ignore allocfree sampled diagnostics snapshot, one per sample interval, not per cycle
 		Counters: make(map[string]uint64, len(r.counters)+len(r.counterFns)+4*len(r.hists)),
-		Gauges:   make(map[string]float64, len(r.gauges)+len(r.gaugeFns)+len(r.hists)),
+		//lint:ignore allocfree sampled diagnostics snapshot, one per sample interval, not per cycle
+		Gauges: make(map[string]float64, len(r.gauges)+len(r.gaugeFns)+len(r.hists)),
 	}
 	for n, c := range r.counters {
 		s.Counters[n] = c.Load()
@@ -319,10 +321,14 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, h := range r.hists {
 		for i, b := range h.bounds {
+			//lint:ignore allocfree sampled diagnostics snapshot, one per sample interval, not per cycle
 			s.Counters[fmt.Sprintf("%s.le_%g", n, b)] = h.counts[i]
 		}
+		//lint:ignore allocfree sampled diagnostics snapshot, one per sample interval, not per cycle
 		s.Counters[n+".overflow"] = h.counts[len(h.bounds)]
+		//lint:ignore allocfree sampled diagnostics snapshot, one per sample interval, not per cycle
 		s.Counters[n+".count"] = h.total
+		//lint:ignore allocfree sampled diagnostics snapshot, one per sample interval, not per cycle
 		s.Gauges[n+".sum"] = sanitize(h.sum)
 	}
 	return s

@@ -32,6 +32,8 @@ func New(stages ...Stage) *Pipeline {
 }
 
 // Tick advances every stage to cycle now, in order.
+//
+//lint:hotpath
 func (p *Pipeline) Tick(now int64) {
 	for _, s := range p.stages {
 		s.Tick(now)

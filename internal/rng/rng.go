@@ -14,6 +14,7 @@ type RNG struct {
 // New returns a generator seeded from seed. Two generators created with
 // different seeds produce uncorrelated streams for practical purposes.
 func New(seed uint64) *RNG {
+	//lint:ignore allocfree cold fork path: ForkInto reseeds pooled generators in place on the hot path
 	r := &RNG{state: seed}
 	// Warm the state so nearby seeds diverge immediately.
 	r.Uint64()
@@ -25,6 +26,7 @@ func New(seed uint64) *RNG {
 // with respect to the parent's seed regardless of how much the parent has
 // been used before or after the fork.
 func (r *RNG) Fork(salt uint64) *RNG {
+	//lint:ignore allocfree cold fork path: ForkInto reseeds pooled generators in place on the hot path
 	return New(mix(r.state ^ mix(salt)))
 }
 

@@ -106,10 +106,12 @@ func (r *Reader) src() io.Reader {
 // rewind repositions the stream at record 0.
 func (r *Reader) rewind() error {
 	if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+		//lint:ignore allocfree error construction on the I/O failure path; replay aborts
 		return fmt.Errorf("champsim: %s: %w", r.path, err)
 	}
 	if r.gz {
 		if err := r.zr.Reset(r.f); err != nil {
+			//lint:ignore allocfree error construction on the I/O failure path; replay aborts
 			return fmt.Errorf("champsim: %s: %w", r.path, err)
 		}
 	}
@@ -133,6 +135,7 @@ func (r *Reader) fill() error {
 	}
 	b := r.buf[:want*RecordSize]
 	if _, err := io.ReadFull(r.src(), b); err != nil {
+		//lint:ignore allocfree error construction on the I/O failure path; replay aborts
 		return fmt.Errorf("champsim: %s: record %d: %w", r.path, r.recInPass, err)
 	}
 	r.pos, r.n = 0, len(b)

@@ -204,6 +204,7 @@ func (s *Source) Next() isa.Inst {
 		// one downstream), so Target is compared only when taken.
 		if got.PC != want.PC || got.Size != want.Size || got.Kind != want.Kind ||
 			got.Taken != want.Taken || (want.Taken && got.Target != want.Target) {
+			//lint:ignore allocfree error construction on the replay-divergence path; latched once
 			s.err = fmt.Errorf("champsim: replay diverged at instruction %d: decoded %+v, synthetic %+v", s.count-1, got, want)
 		}
 	}
@@ -232,6 +233,7 @@ func (s *Source) ForkWrong(free trace.Source, pc isa.Addr) trace.Source {
 			w = s.freeWrong
 			s.freeWrong = nil
 		} else {
+			//lint:ignore allocfree wrong-path fork pool refill (freeWrong); amortized
 			w = &Wrong{src: s}
 		}
 	}

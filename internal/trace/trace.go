@@ -83,6 +83,7 @@ func (w *Walker) Fork(pc isa.Addr) *Walker {
 	// Forks carry no loop counters (loopCnt nil): loop back-edges are
 	// sampled probabilistically instead. Wrong paths are short-lived, and
 	// this avoids allocating a per-block array on every mispredict.
+	//lint:ignore allocfree cold fork path: ForkInto reuses dst storage; fresh fork on first mispredict only
 	f := &Walker{
 		prog:           w.prog,
 		r:              w.r.Fork(uint64(pc)),

@@ -201,6 +201,8 @@ func registerOwnerMetrics(reg *metrics.Registry, prefix string, o *cache.OwnerSt
 }
 
 // Send implements mem.Port.
+//
+//lint:hotpath
 func (p *tenantPort) Send(req mem.Req) mem.AccessResult {
 	req.Src = p.id
 	// Tenants are separate address spaces (distinct co-run services), but
