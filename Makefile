@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build fmt-check vet test race determinism golden check bench clean
-.PHONY: lint lint-fix-report check-invariant fuzz bench-track bench-diff perf-smoke trace-suite socket
+.PHONY: lint lint-fix-report check-invariant fuzz bench-track bench-diff perf-smoke trace-suite socket fabric-smoke
 
 all: build
 
@@ -73,6 +73,18 @@ fuzz:
 trace-suite:
 	$(GO) test ./internal/trace/... -count=1
 	$(GO) test ./internal/harness -run 'TestGoldenMetricsTraceRoundTrip|TestRecordTrace|TestTrace' -count=1 -v
+
+# Distributed-fabric gate: run the 3-cell smoke grid through a localhost
+# coordinator + 2-worker fleet sharing a checkpoint directory, then
+# serially, and require the two merged documents to be byte-identical
+# (cmp). This is the end-to-end proof that sharding, warm leases, sample
+# streaming, and the deterministic merge change nothing but wall-clock.
+fabric-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/gridd run -grid smoke -workers 2 -checkpoint-dir "$$dir/ck" -out "$$dir/fabric.json" && \
+	$(GO) run ./cmd/gridd run -grid smoke -workers 0 -checkpoint-dir "$$dir/ck2" -out "$$dir/serial.json" && \
+	cmp "$$dir/fabric.json" "$$dir/serial.json" && \
+	echo "fabric-smoke: distributed merged document is byte-identical to serial"
 
 # Socket/multi-tenant gate: the Socket{N:1} golden-equivalence pin, the
 # 2-tenant interference + determinism acceptance test, and the

@@ -9,6 +9,8 @@
 //	experiments -run fig10 -metrics runs.json   # dump every run's registry
 //	experiments -record-trace traces -benchmarks kafka,tomcat
 //	experiments -run fig10 -trace traces -trace-differential
+//	experiments -run fig10 -fabric-workers 4      # distribute cells over a localhost fleet
+//	experiments -run fig10 -shard 0/4             # static benchmark shard (no coordinator)
 //	experiments -list
 //	experiments -list-benchmarks
 //	experiments -list-policies
@@ -23,6 +25,7 @@ import (
 	"strings"
 
 	"pdip"
+	"pdip/internal/fabric"
 	"pdip/internal/profiling"
 )
 
@@ -45,6 +48,8 @@ func main() {
 		traceDir = flag.String("trace", "", "drive every run from ChampSim traces in this directory (<benchmark>.champsim or .champsim.gz) instead of the synthetic walker")
 		traceDif = flag.Bool("trace-differential", false, "with -trace: cross-check every decoded instruction against the synthetic walker; any divergence fails the run")
 		recDir   = flag.String("record-trace", "", "record every selected benchmark's synthetic stream as gzipped ChampSim traces into this directory and exit")
+		fabricN  = flag.Int("fabric-workers", 0, "distribute every run over this many in-process fabric workers sharing -checkpoint-dir (0 = run locally)")
+		shard    = flag.String("shard", "", "run only the i-th of n static benchmark shards ('i/n') — the coordinator-free way to split a grid across machines")
 	)
 	flag.Parse()
 
@@ -97,6 +102,22 @@ func main() {
 	if *benchCSV != "" {
 		o.Benchmarks = strings.Split(*benchCSV, ",")
 	}
+	if *shard != "" {
+		i, n, err := fabric.ParseShard(*shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		benches := o.Benchmarks
+		if len(benches) == 0 {
+			benches = pdip.BenchmarkNames()
+		}
+		o.Benchmarks = fabric.Shard(benches, i, n)
+		if len(o.Benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: shard %s of %d benchmarks is empty\n", *shard, len(benches))
+			return
+		}
+	}
 	o.Parallelism = *par
 	o.NoFastForward = *noFF
 	o.TraceDir = *traceDir
@@ -111,6 +132,14 @@ func main() {
 	}
 
 	runner := pdip.NewRunnerWithCheckpoints(*par, *ckDir)
+	var fleet *fabric.Fleet
+	if *fabricN > 0 {
+		// Route every cache-missing run through a localhost fleet whose
+		// workers share -checkpoint-dir; the experiment code is unchanged.
+		fleet = fabric.StartFleet(*fabricN, 1, *ckDir, fabric.Config{})
+		defer fleet.Close()
+		runner.SetExecutor(fleet.Exec)
+	}
 	if *run == "all" {
 		for _, e := range pdip.Experiments() {
 			out, err := e.Run(runner, o)
@@ -122,7 +151,7 @@ func main() {
 			fmt.Println(out)
 		}
 		dumpMetrics(runner, *metrics)
-		reportCheckpoints(runner)
+		reportStats(runner, fleet)
 		return
 	}
 	e, err := pdip.ExperimentByID(*run)
@@ -138,7 +167,7 @@ func main() {
 	fmt.Println("== " + e.Title + " ==")
 	fmt.Println(out)
 	dumpMetrics(runner, *metrics)
-	reportCheckpoints(runner)
+	reportStats(runner, fleet)
 }
 
 // recordTraces exports every selected benchmark's synthetic instruction
@@ -164,17 +193,33 @@ func recordTraces(o pdip.Options, dir string) error {
 	return nil
 }
 
-// reportCheckpoints summarises warm-state reuse on stderr: how many
-// warmups were actually simulated vs served from the in-memory or on-disk
-// checkpoint caches, and how many runs forked a warm snapshot.
-func reportCheckpoints(runner *pdip.Runner) {
-	s := runner.CheckpointStats()
-	if s.Forks == 0 {
+// reportStats summarises execution and warm-state reuse on stderr, once,
+// from the Runner.Stats() accessor (plus the fleet's aggregate when the
+// runs were distributed): runs executed vs memoised, and how warmups were
+// served — simulated, in-memory, or forked from the on-disk store.
+func reportStats(runner *pdip.Runner, fleet *fabric.Fleet) {
+	s := runner.Stats()
+	if fleet != nil {
+		// The local runner only memoises; the workers executed. Report
+		// the cluster-wide counters the coordinator aggregated.
+		fs := fleet.Stats()
+		fmt.Fprintf(os.Stderr,
+			"experiments: fabric: %d cells over %d workers (%d completed, %d failed, %d retries, %d re-queues)\n",
+			fs.Cells, fs.Workers, fs.Completed, fs.Failed, fs.Retries, fs.Requeues)
+		s.RunsExecuted = fs.Runner.RunsExecuted
+		s.Checkpoint = fs.Runner.Checkpoint
+	}
+	if s.RunsExecuted == 0 && s.CacheHits == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: runs: %d executed, %d memoisation hits\n", s.RunsExecuted, s.CacheHits)
+	ck := s.Checkpoint
+	if ck.Forks == 0 {
 		return
 	}
 	fmt.Fprintf(os.Stderr,
 		"experiments: checkpoints: %d forked runs from %d simulated warmups (%d in-memory hits, %d disk hits, %d disk stores)\n",
-		s.Forks, s.WarmupsExecuted, s.MemoryHits, s.DiskHits, s.DiskStores)
+		ck.Forks, ck.WarmupsExecuted, ck.MemoryHits, ck.DiskHits, ck.DiskStores)
 }
 
 // dumpMetrics writes every memoised run's full metric snapshot to path as

@@ -58,7 +58,7 @@ var checkpointManifest = map[string]map[string]string{
 		"fecReqAge": "state", "fecHolds": "state", "fecTrace": "state",
 		"dataRng": "state", "promoRng": "state",
 		"reg": "state", "ct": "wiring",
-		"sampleEvery": "state", "samples": "diag",
+		"sampleEvery": "state", "samples": "diag", "sampleHook": "diag",
 		"reqBuf": "scratch", "retireBuf": "scratch",
 		"uopFree": "pool", "epFree": "pool",
 		"pfEmitter": "wiring", "pfCallsRet": "wiring",

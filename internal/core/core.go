@@ -104,9 +104,13 @@ type Core struct {
 	ct  counters
 
 	// sampleEvery > 0 records a registry snapshot every that many retired
-	// instructions; samples accumulate until ResetStats.
+	// instructions; samples accumulate until ResetStats. sampleHook,
+	// when set, additionally observes each sample as it is recorded
+	// (streaming observers — the fabric worker — sit above the simulated
+	// clock and never influence it).
 	sampleEvery uint64
 	samples     []metrics.Sample
+	sampleHook  func(metrics.Sample)
 
 	reqBuf    []prefetch.Request
 	retireBuf []*frontend.Uop

@@ -221,3 +221,10 @@ func (co *Core) EnableSampling(everyN uint64) {
 // Samples returns the interval snapshots collected since the last
 // ResetStats. The slice is owned by the core; copy it before mutating.
 func (co *Core) Samples() []metrics.Sample { return co.samples }
+
+// SetSampleHook installs fn as a streaming observer: it is called with
+// each interval sample immediately after the sample is recorded (still
+// inside the retire stage, in deterministic order). The hook is pure
+// observation — samples accumulate in Samples() regardless — and is not
+// simulator state: forks and checkpoints never carry it.
+func (co *Core) SetSampleHook(fn func(metrics.Sample)) { co.sampleHook = fn }

@@ -54,7 +54,11 @@ func (s *retireStage) retireUop(u *frontend.Uop) {
 	ct.instructions.Inc()
 	if co.sampleEvery > 0 {
 		if n := ct.instructions.Load(); n%co.sampleEvery == 0 {
-			co.samples = append(co.samples, metrics.Sample{Instructions: n, Metrics: co.reg.Snapshot()})
+			s := metrics.Sample{Instructions: n, Metrics: co.reg.Snapshot()}
+			co.samples = append(co.samples, s)
+			if co.sampleHook != nil {
+				co.sampleHook(s)
+			}
 		}
 	}
 

@@ -1,0 +1,85 @@
+package fabric
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"pdip/internal/harness"
+)
+
+// Fleet is a self-contained coordinator plus N in-process workers wired
+// over net.Pipe — the same protocol bytes as a TCP deployment, with no
+// sockets. `experiments -fabric-workers N` and the fabric benchmarks run
+// on one of these; tests build them directly to inject faults.
+type Fleet struct {
+	Coordinator *Coordinator
+	workers     []*Worker
+	conns       []net.Conn // coordinator-side ends
+	wg          sync.WaitGroup
+}
+
+// StartFleet launches a coordinator and n in-process workers (slots
+// concurrent jobs each). Every worker gets its own Runner sharing the
+// checkpoint directory ckdir — warm state crosses workers only through
+// the coordinator's leases plus the content-addressed store, exactly as
+// it would between separate machines.
+func StartFleet(n, slots int, ckdir string, cfg Config) *Fleet {
+	if n < 1 {
+		n = 1
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	f := &Fleet{Coordinator: NewCoordinator(cfg)}
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Name:   fmt.Sprintf("w%d", i+1),
+			Runner: harness.NewRunnerWithCheckpoints(slots, ckdir),
+			Slots:  slots,
+		}
+		f.AddWorker(w)
+	}
+	return f
+}
+
+// AddWorker connects w to the fleet's coordinator over an in-process
+// pipe and starts serving it.
+func (f *Fleet) AddWorker(w *Worker) {
+	cend, wend := net.Pipe()
+	f.workers = append(f.workers, w)
+	f.conns = append(f.conns, cend)
+	f.wg.Add(2)
+	//lint:ignore determinism host-side fleet plumbing: one goroutine per pipe end; the fabric sits above the simulated clock
+	go func() {
+		defer f.wg.Done()
+		f.Coordinator.HandleConn(cend)
+	}()
+	//lint:ignore determinism host-side fleet plumbing; see above
+	go func() {
+		defer f.wg.Done()
+		w.Run(wend)
+	}()
+}
+
+// Exec runs one spec through the fleet and waits for it — the signature
+// Runner.SetExecutor wants, so a stock Runner transparently routes its
+// cache misses through the fleet.
+func (f *Fleet) Exec(spec harness.RunSpec) (*harness.RunResult, error) {
+	return f.Coordinator.Submit(spec).Wait()
+}
+
+// RunGrid distributes specs over the fleet and returns results in spec
+// order (see Coordinator.RunGrid).
+func (f *Fleet) RunGrid(specs []harness.RunSpec) ([]*harness.RunResult, error) {
+	return f.Coordinator.RunGrid(specs)
+}
+
+// Stats reports the coordinator's aggregate accounting.
+func (f *Fleet) Stats() Stats { return f.Coordinator.Stats() }
+
+// Close drains the fleet and waits for every connection goroutine.
+func (f *Fleet) Close() {
+	f.Coordinator.Close()
+	f.wg.Wait()
+}

@@ -1,0 +1,98 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGridSpecs pins the deterministic expansion order: benchmark-major,
+// then policy, BTB, seed.
+func TestGridSpecs(t *testing.T) {
+	g := Grid{
+		Benchmarks: []string{"kafka", "cassandra"},
+		Policies:   []string{"baseline", "pdip44"},
+		BTBEntries: []int{0, 1024},
+		Seeds:      []uint64{0, 7},
+		Warmup:     1000,
+		Measure:    2000,
+	}
+	specs, err := g.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 16 {
+		t.Fatalf("want 2*2*2*2 = 16 cells, got %d", len(specs))
+	}
+	first, last := specs[0], specs[len(specs)-1]
+	if first.Benchmark != "kafka" || first.Policy != "baseline" || first.BTBEntries != 0 || first.Seed != 0 {
+		t.Fatalf("first cell out of order: %+v", first)
+	}
+	if last.Benchmark != "cassandra" || last.Policy != "pdip44" || last.BTBEntries != 1024 || last.Seed != 7 {
+		t.Fatalf("last cell out of order: %+v", last)
+	}
+	keys := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if keys[s.Key()] {
+			t.Fatalf("duplicate cell key %q", s.Key())
+		}
+		keys[s.Key()] = true
+	}
+}
+
+// TestGridValidates rejects unknown benchmark and policy names at
+// expansion time.
+func TestGridValidates(t *testing.T) {
+	if _, err := (Grid{Benchmarks: []string{"nope"}, Policies: []string{"baseline"}}).Specs(); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := (Grid{Benchmarks: []string{"kafka"}, Policies: []string{"nope"}}).Specs(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := (Grid{}).Specs(); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+// TestParseGridUnknownField rejects misspelled axes loudly.
+func TestParseGridUnknownField(t *testing.T) {
+	_, err := ParseGrid(strings.NewReader(`{"benchmarks":["kafka"],"polices":["baseline"]}`))
+	if err == nil || !strings.Contains(err.Error(), "polices") {
+		t.Fatalf("want unknown-field error naming the typo, got %v", err)
+	}
+}
+
+// TestShard checks the strided shards partition the grid exactly.
+func TestShard(t *testing.T) {
+	cells := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	seen := make(map[int]int)
+	n := 3
+	for i := 0; i < n; i++ {
+		for _, c := range Shard(cells, i, n) {
+			seen[c]++
+		}
+	}
+	for _, c := range cells {
+		if seen[c] != 1 {
+			t.Fatalf("cell %d covered %d times across %d shards", c, seen[c], n)
+		}
+	}
+	if got := Shard(cells, 1, 3); got[0] != 1 || got[1] != 4 {
+		t.Fatalf("shard 1/3 should stride: got %v", got)
+	}
+	if got := Shard(cells, 0, 1); len(got) != len(cells) {
+		t.Fatalf("shard 0/1 should be identity")
+	}
+}
+
+// TestParseShard pins the i/n syntax and its bounds.
+func TestParseShard(t *testing.T) {
+	i, n, err := ParseShard("2/4")
+	if err != nil || i != 2 || n != 4 {
+		t.Fatalf("ParseShard(2/4) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "x", "4/4", "-1/4", "1/0", "1"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Fatalf("ParseShard(%q) should fail", bad)
+		}
+	}
+}

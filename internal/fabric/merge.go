@@ -1,0 +1,80 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"pdip/internal/harness"
+	"pdip/internal/metrics"
+	"pdip/internal/stats"
+)
+
+// Cell is one merged grid cell: the final metric snapshot plus any
+// streamed interval samples, in recording order.
+type Cell struct {
+	Final   metrics.Snapshot `json:"final"`
+	Samples []metrics.Sample `json:"samples,omitempty"`
+}
+
+// Merge keys results by their spec key, independent of arrival order.
+// Duplicate keys are an error: a well-formed grid has unique cell keys,
+// and silently overwriting one would mask a mis-declared grid.
+func Merge(results []*harness.RunResult) (map[string]Cell, error) {
+	cells := make(map[string]Cell, len(results))
+	for _, res := range results {
+		key := res.Spec.Key()
+		if _, dup := cells[key]; dup {
+			return nil, fmt.Errorf("fabric: merge: duplicate cell key %q", key)
+		}
+		cells[key] = Cell{Final: res.Metrics, Samples: res.Samples}
+	}
+	return cells, nil
+}
+
+// WriteMerged writes the canonical merged-grid document: one JSON object
+// keyed by cell key, indented. encoding/json sorts map keys, metric
+// snapshots are stable-ordered, and gauges round-trip bit-exactly — so
+// two result sets produce byte-identical documents iff every cell's
+// metrics are bit-identical, regardless of the order the results arrived
+// in. This is the byte-equality surface TestFabricBitIdenticalToSerial
+// and `make fabric-smoke` compare on.
+func WriteMerged(w io.Writer, cells map[string]Cell) error {
+	return writeOrderedJSON(w, cells)
+}
+
+// writeOrderedJSON writes v indented; encoding/json emits map keys
+// sorted, so the bytes are deterministic.
+func writeOrderedJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// MergedFrom runs the full serial reference: it executes specs on r
+// (Runner.RunAll) and merges, producing the document a distributed run of
+// the same grid must match byte for byte.
+func MergedFrom(r *harness.Runner, specs []harness.RunSpec) (map[string]Cell, error) {
+	results, err := r.RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	return Merge(results)
+}
+
+// SummaryTable formats a compact per-cell overview (IPC, L1I MPKI) of a
+// merged grid, rows sorted by cell key — `gridd run`'s human-readable
+// complement to the JSON document.
+func SummaryTable(results []*harness.RunResult) string {
+	sorted := append([]*harness.RunResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Spec.Key() < sorted[j].Spec.Key() })
+	t := stats.NewTable("cell", "IPC", "L1I MPKI", "instructions")
+	for _, res := range sorted {
+		t.AddRow(res.Spec.Key(),
+			fmt.Sprintf("%.3f", res.Res.IPC()),
+			fmt.Sprintf("%.1f", res.Res.L1IMPKI()),
+			fmt.Sprintf("%d", res.Res.Core.Instructions))
+	}
+	return t.String()
+}

@@ -1,0 +1,94 @@
+package fabric
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+
+	"pdip/internal/harness"
+	"pdip/internal/metrics"
+)
+
+// The wire protocol is newline-delimited JSON messages over a single
+// duplex connection per worker (TCP, or net.Pipe in-process). Each side
+// runs one reader loop; writes are serialised per connection. The
+// protocol is pull-based: the worker offers capacity with one "ready"
+// token per free slot, and the coordinator answers each token with at
+// most one "assign".
+//
+//	worker → coordinator: hello, ready, heartbeat, sample, done, fail
+//	coordinator → worker: assign, drain
+//
+// Everything on the wire round-trips bit-exactly: metric snapshots
+// marshal gauges through Go's shortest-round-trip float encoding, so the
+// coordinator's merged document is byte-identical to a serial run's.
+const (
+	msgHello     = "hello"     // worker introduces itself (name, slots)
+	msgReady     = "ready"     // worker offers one free execution slot
+	msgAssign    = "assign"    // coordinator hands the worker a job
+	msgDrain     = "drain"     // coordinator: no more work; disconnect
+	msgHeartbeat = "heartbeat" // worker liveness + piggybacked runner stats
+	msgSample    = "sample"    // one streamed interval snapshot of a running job
+	msgDone      = "done"      // job finished; result attached
+	msgFail      = "fail"      // job errored; error string attached
+)
+
+// message is the single wire envelope; Type selects which fields matter.
+type message struct {
+	Type string `json:"type"`
+
+	// hello
+	Worker string `json:"worker,omitempty"`
+	Slots  int    `json:"slots,omitempty"`
+
+	// assign / sample / done / fail
+	JobID uint64 `json:"job_id,omitempty"`
+	// Attempt is 1 on the first assignment and counts up across
+	// re-queues, so a worker can log reruns distinctly.
+	Attempt int `json:"attempt,omitempty"`
+	// Spec is the job itself (assign).
+	Spec *harness.RunSpec `json:"spec,omitempty"`
+	// WarmLead marks this job as its warm tuple's cluster-wide leader:
+	// the worker executing it performs the tuple's one real warmup and
+	// persists the checkpoint; the tuple's remaining jobs stay held at
+	// the coordinator until this job completes.
+	WarmLead bool `json:"warm_lead,omitempty"`
+
+	Sample *metrics.Sample    `json:"sample,omitempty"`
+	Result *harness.RunResult `json:"result,omitempty"`
+	Error  string             `json:"error,omitempty"`
+
+	// Stats piggybacks the worker's runner counters on heartbeats and
+	// completions, so the coordinator can report cluster-wide warm-state
+	// reuse once, programmatically (no interleaved stderr prints).
+	Stats *harness.RunnerStats `json:"stats,omitempty"`
+}
+
+// wire wraps one connection with a JSON codec and a write lock (multiple
+// goroutines — executors, the heartbeat loop — send on one conn).
+type wire struct {
+	conn net.Conn
+	dec  *json.Decoder
+	wmu  sync.Mutex
+	enc  *json.Encoder
+}
+
+func newWire(conn net.Conn) *wire {
+	return &wire{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}
+}
+
+func (w *wire) send(m *message) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.enc.Encode(m)
+}
+
+func (w *wire) recv() (*message, error) {
+	var m message
+	if err := w.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (w *wire) close() error { return w.conn.Close() }

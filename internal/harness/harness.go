@@ -85,6 +85,12 @@ type RunSpec struct {
 	// core.Config flag of the same name); metrics must be bit-identical
 	// either way, and TestFastForwardBitIdentical holds the simulator to it.
 	NoFastForward bool
+	// Seed, when nonzero, perturbs the core's data-side random streams
+	// (memory behaviour, wrong-path noise) without regenerating the
+	// benchmark's program, opening a seed axis for confidence-interval
+	// sweeps. Zero keeps the profile's pinned default, so every existing
+	// spec (and golden cell) is unchanged.
+	Seed uint64
 	// TracePath, when non-empty, drives the run from a ChampSim trace
 	// instead of walking the synthetic CFG directly. The benchmark still
 	// names the workload profile, which supplies the data-side model (and,
@@ -103,6 +109,9 @@ func (s RunSpec) Key() string {
 	k := s.Benchmark + "/" + s.Policy
 	if s.BTBEntries > 0 {
 		k = fmt.Sprintf("%s@%dK-BTB", k, s.BTBEntries/1024)
+	}
+	if s.Seed != 0 {
+		k = fmt.Sprintf("%s#seed%d", k, s.Seed)
 	}
 	if s.TracePath != "" {
 		if s.TraceDifferential {
@@ -140,10 +149,40 @@ type call struct {
 type warmKey struct {
 	Benchmark, Policy string
 	BTBEntries        int
+	Seed              uint64
 	Warmup            uint64
 	NoFastForward     bool
 	TracePath         string
 	TraceDifferential bool
+}
+
+// warmKeyOf projects spec onto its warm-state identity, normalising the
+// instruction budgets first.
+func warmKeyOf(spec RunSpec) warmKey {
+	warmup, _ := spec.budgets()
+	return warmKey{
+		Benchmark:         spec.Benchmark,
+		Policy:            spec.Policy,
+		BTBEntries:        spec.BTBEntries,
+		Seed:              spec.Seed,
+		Warmup:            warmup,
+		NoFastForward:     spec.NoFastForward,
+		TracePath:         spec.TracePath,
+		TraceDifferential: spec.TraceDifferential,
+	}
+}
+
+// WarmTuple renders the spec's warm-state identity as a stable string, or
+// "" when the spec has no warmup phase and therefore nothing to share.
+// Specs with equal tuples fork the same warm state, so a scheduler (the
+// fabric coordinator) can warm each tuple once cluster-wide and hold the
+// tuple's remaining jobs back until the warm checkpoint exists.
+func (s RunSpec) WarmTuple() string {
+	warmup, _ := s.budgets()
+	if warmup == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%v", warmKeyOf(s))
 }
 
 // warmCall is one in-flight (or completed) warmup, singleflighted per
@@ -153,6 +192,34 @@ type warmCall struct {
 	done chan struct{}
 	st   *checkpoint.State
 	err  error
+}
+
+// RunnerStats is the programmatic view of a Runner's activity: how many
+// specs it actually simulated, how many were served from the memoisation
+// cache, and the warm-state reuse counters. It is a plain value snapshot,
+// taken atomically under the runner's lock, so concurrent consumers (the
+// fabric coordinator aggregating per-worker stats, tests, the experiments
+// CLI's single end-of-run report) never observe interleaved prints or
+// torn counters.
+type RunnerStats struct {
+	// RunsExecuted counts specs this runner simulated itself.
+	RunsExecuted uint64
+	// CacheHits counts Run calls served from the memoisation cache
+	// (including singleflight waiters that blocked on a leader's run).
+	CacheHits uint64
+	// Checkpoint holds the warm-state reuse counters.
+	Checkpoint CheckpointStats
+}
+
+// Add accumulates o into s (aggregating stats across fleet workers).
+func (s *RunnerStats) Add(o RunnerStats) {
+	s.RunsExecuted += o.RunsExecuted
+	s.CacheHits += o.CacheHits
+	s.Checkpoint.Forks += o.Checkpoint.Forks
+	s.Checkpoint.WarmupsExecuted += o.Checkpoint.WarmupsExecuted
+	s.Checkpoint.MemoryHits += o.Checkpoint.MemoryHits
+	s.Checkpoint.DiskHits += o.Checkpoint.DiskHits
+	s.Checkpoint.DiskStores += o.Checkpoint.DiskStores
 }
 
 // CheckpointStats counts warm-state reuse for before/after reporting.
@@ -181,6 +248,11 @@ type Runner struct {
 	inflight map[RunSpec]*call
 	warm     map[warmKey]*warmCall
 	ckStats  CheckpointStats
+	stats    RunnerStats
+	// executor, when set, replaces local execution for cache-missing
+	// runs: the spec is handed to it (the fabric fleet's submit path)
+	// and the returned result is memoised exactly as a local one.
+	executor func(RunSpec) (*RunResult, error)
 	// checkpointDir, when non-empty, is the content-addressed on-disk
 	// checkpoint cache shared across processes.
 	checkpointDir string
@@ -217,6 +289,28 @@ func (r *Runner) CheckpointStats() CheckpointStats {
 	return r.ckStats
 }
 
+// Stats returns an atomic snapshot of the runner's activity counters
+// (runs executed, cache hits, warm-state reuse). Consumers report it once
+// at end of run instead of interleaving prints under concurrency.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Checkpoint = r.ckStats
+	return s
+}
+
+// SetExecutor routes every cache-missing Run through exec instead of
+// executing locally — the hook `experiments -fabric-workers` uses to push
+// an unmodified experiment grid through a distributed fleet. Memoisation
+// and per-spec singleflight still apply in front of exec. Must be set
+// before the first Run; a nil exec restores local execution.
+func (r *Runner) SetExecutor(exec func(RunSpec) (*RunResult, error)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.executor = exec
+}
+
 // Run executes spec (or returns the memoised result). Concurrent calls
 // with the same spec are singleflighted: the first registers an in-flight
 // call and executes; later submitters block on it and share the result
@@ -224,6 +318,7 @@ func (r *Runner) CheckpointStats() CheckpointStats {
 func (r *Runner) Run(spec RunSpec) (*RunResult, error) {
 	r.mu.Lock()
 	if res, ok := r.cache[spec]; ok {
+		r.stats.CacheHits++
 		r.mu.Unlock()
 		return res, nil
 	}
@@ -232,6 +327,7 @@ func (r *Runner) Run(spec RunSpec) (*RunResult, error) {
 		return nil, err
 	}
 	if c, ok := r.inflight[spec]; ok {
+		r.stats.CacheHits++
 		r.mu.Unlock()
 		<-c.done
 		return c.res, c.err
@@ -256,45 +352,16 @@ func (r *Runner) Run(spec RunSpec) (*RunResult, error) {
 	return c.res, c.err
 }
 
-// execute runs one spec, amortizing warmup through the warm-state layer
-// whenever the spec has a warmup window.
+// execute runs one spec: through the configured remote executor when one
+// is set, locally through the shared job-execution core otherwise.
 func (r *Runner) execute(spec RunSpec) (*RunResult, error) {
-	warmup, measure := spec.budgets()
-	if warmup == 0 {
-		// Nothing to amortize; run from scratch.
-		return Execute(spec)
-	}
-	wk := warmKey{
-		Benchmark:         spec.Benchmark,
-		Policy:            spec.Policy,
-		BTBEntries:        spec.BTBEntries,
-		Warmup:            warmup,
-		NoFastForward:     spec.NoFastForward,
-		TracePath:         spec.TracePath,
-		TraceDifferential: spec.TraceDifferential,
-	}
-	st, err := r.warmState(wk)
-	if err != nil {
-		return nil, err
-	}
-	prog, c, err := buildConfig(spec)
-	if err != nil {
-		return nil, err
-	}
-	src, osrc, err := openSource(spec, prog, c)
-	if err != nil {
-		return nil, err
-	}
-	co, err := core.NewFromSnapshotWithSource(prog, osrc, c, st)
-	if err != nil {
-		closeSource(src)
-		return nil, fmt.Errorf("%s fork: %w", spec.Key(), err)
-	}
 	r.mu.Lock()
-	r.ckStats.Forks++
+	exec := r.executor
 	r.mu.Unlock()
-	res, err := measureRun(co, spec, measure)
-	return finishSource(spec, src, res, err)
+	if exec != nil {
+		return exec(spec)
+	}
+	return r.ExecuteJob(spec, nil)
 }
 
 // warmState returns the warm simulator state for wk, singleflighting the
@@ -475,6 +542,12 @@ func buildConfig(spec RunSpec) (*cfg.Program, core.Config, error) {
 
 	c := core.DefaultConfig()
 	c.Seed = prof.CFG.Seed ^ 0x5eed
+	if spec.Seed != 0 {
+		// Mix the sweep seed in with an odd multiplier so adjacent seeds
+		// (1, 2, 3...) land on well-separated rng stream families. The
+		// program itself is untouched: only the data-side streams move.
+		c.Seed ^= spec.Seed * 0x9e3779b97f4a7c15
+	}
 	c.MemOpFrac = prof.MemOpFrac
 	c.DataHotLines = prof.DataHotLines
 	c.DataColdLines = prof.DataColdLines
@@ -491,11 +564,16 @@ func buildConfig(spec RunSpec) (*cfg.Program, core.Config, error) {
 // measureRun resets a warmed core's measurement counters, simulates the
 // measured window, and packages the result — shared by the from-scratch
 // and fork-from-snapshot paths, which must agree bit-for-bit
-// (TestCheckpointBitIdentical).
-func measureRun(co *core.Core, spec RunSpec, measure uint64) (*RunResult, error) {
+// (TestCheckpointBitIdentical). onSample, when non-nil, observes each
+// interval snapshot the moment it is recorded (the fabric worker's
+// streaming path); it has no effect on the simulation or the result.
+func measureRun(co *core.Core, spec RunSpec, measure uint64, onSample func(metrics.Sample)) (*RunResult, error) {
 	co.ResetStats()
 	if spec.SampleEvery > 0 {
 		co.EnableSampling(spec.SampleEvery)
+		if onSample != nil {
+			co.SetSampleHook(onSample)
+		}
 	}
 	if err := co.Run(measure); err != nil {
 		return nil, fmt.Errorf("%s/%s measure: %w", spec.Benchmark, spec.Policy, err)
@@ -512,6 +590,11 @@ func measureRun(co *core.Core, spec RunSpec, measure uint64) (*RunResult, error)
 // or warm-state reuse — the reference path that VerifyDeterminism and the
 // checkpoint bit-identity tests compare against.
 func Execute(spec RunSpec) (*RunResult, error) {
+	return executeScratch(spec, nil)
+}
+
+// executeScratch is Execute with the streaming-sample hook exposed.
+func executeScratch(spec RunSpec, onSample func(metrics.Sample)) (*RunResult, error) {
 	prog, c, err := buildConfig(spec)
 	if err != nil {
 		return nil, err
@@ -530,7 +613,7 @@ func Execute(spec RunSpec) (*RunResult, error) {
 		closeSource(src)
 		return nil, fmt.Errorf("%s/%s warmup: %w", spec.Benchmark, spec.Policy, err)
 	}
-	res, err := measureRun(co, spec, measure)
+	res, err := measureRun(co, spec, measure, onSample)
 	return finishSource(spec, src, res, err)
 }
 

@@ -1,0 +1,43 @@
+// Package bad commits the fabric's two forbidden sins: emitting a merged
+// grid document in map-iteration order, and reading the wall clock for
+// scheduling without declaring that it sits above the simulated clock.
+// Both must flag.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// cell stands in for a merged grid cell.
+type cell struct{ IPC float64 }
+
+// WriteMerged streams cells in map-iteration order — the byte-identity
+// contract of the merged document dies here.
+func WriteMerged(w io.Writer, cells map[string]cell) {
+	for key, c := range cells {
+		fmt.Fprintf(w, "%s %.3f\n", key, c.IPC) // want:determinism
+	}
+}
+
+// LeaseDeadline reads the host clock with no suppression explaining that
+// leases are scheduling-fabric state, not simulation state.
+func LeaseDeadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout) // want:determinism
+}
+
+// Dispatch hands out jobs on a raw goroutine, equally undeclared.
+func Dispatch(jobs chan int) {
+	go func() { jobs <- 1 }() // want:determinism
+}
+
+// FirstWorker picks a scheduling victim by map order: last writer wins,
+// so two coordinators replaying the same event history disagree.
+func FirstWorker(tokens map[string]int) string {
+	var pick string
+	for name := range tokens {
+		pick = name // want:determinism
+	}
+	return pick
+}

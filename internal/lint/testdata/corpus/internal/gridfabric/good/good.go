@@ -1,0 +1,53 @@
+// Package good is the sanctioned shape of the same fabric code: the
+// merged document is written via collect-then-sort, and every wall-clock
+// or goroutine site carries a suppression locating it above the simulated
+// clock. Must pass.
+package good
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// cell stands in for a merged grid cell.
+type cell struct{ IPC float64 }
+
+// WriteMerged sorts cell keys before emitting, so the document bytes
+// depend only on the cells, never on map order.
+func WriteMerged(w io.Writer, cells map[string]cell) {
+	keys := make([]string, 0, len(cells))
+	for key := range cells {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fmt.Fprintf(w, "%s %.3f\n", key, cells[key].IPC)
+	}
+}
+
+// LeaseDeadline declares its clock read as scheduling-fabric state.
+func LeaseDeadline(timeout time.Duration) time.Time {
+	//lint:ignore determinism the fabric sits above the simulated clock: leases schedule host-side work and never touch simulation results
+	return time.Now().Add(timeout)
+}
+
+// Dispatch declares its goroutine the same way.
+func Dispatch(jobs chan int) {
+	//lint:ignore determinism host-side job dispatch; the simulation inside each job is single-threaded and deterministic
+	go func() { jobs <- 1 }()
+}
+
+// FirstWorker picks deterministically: collect, sort, take the minimum.
+func FirstWorker(tokens map[string]int) string {
+	names := make([]string, 0, len(tokens))
+	for name := range tokens {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0]
+}

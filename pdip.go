@@ -52,6 +52,11 @@ type Runner = harness.Runner
 // forks, in-memory and on-disk cache hits) for a Runner.
 type CheckpointStats = harness.CheckpointStats
 
+// RunnerStats is Runner.Stats()'s programmatic execution report: runs
+// executed, memoisation hits, and the warm-state reuse counters. The
+// fabric coordinator aggregates one of these per worker.
+type RunnerStats = harness.RunnerStats
+
 // Profile is a synthetic benchmark profile (see Benchmarks).
 type Profile = workload.Profile
 
