@@ -386,9 +386,10 @@ func BenchmarkMicroMSHRPrune(b *testing.B) {
 // --- checkpoint benches (EXPERIMENTS.md warm-state reuse table) ---
 
 // BenchmarkCheckpointSaveRestore measures one full snapshot round trip of
-// a warmed simulator: capture, serialize (gzip+JSON, the on-disk format),
-// deserialize, and restore into a fresh core — the per-fork overhead the
-// warm-state layer pays instead of re-simulating the warmup window.
+// a warmed simulator: capture, serialize (the binary columnar on-disk
+// format), deserialize, and restore into a fresh core — the per-fork
+// overhead the warm-state layer pays instead of re-simulating the warmup
+// window.
 func BenchmarkCheckpointSaveRestore(b *testing.B) {
 	prof, err := workload.ByName("cassandra")
 	if err != nil {
@@ -417,7 +418,7 @@ func BenchmarkCheckpointSaveRestore(b *testing.B) {
 		if err := checkpoint.Encode(&buf, st); err != nil {
 			b.Fatal(err)
 		}
-		st2, err := checkpoint.Decode(bytes.NewReader(buf.Bytes()))
+		st2, err := checkpoint.DecodeBytes(buf.Bytes())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -431,6 +432,58 @@ func BenchmarkCheckpointSaveRestore(b *testing.B) {
 		}
 	}
 }
+
+// benchCheckpointFork measures the warm-fork path through the checkpoint
+// store: Load a stored warm state from a Dir and instantiate a fresh core
+// from it — the per-cell cost a grid pays once its warmup is amortized.
+// cacheBytes selects the path under test: with the decoded-state cache
+// disabled every Load pays the full disk decode; with it enabled every
+// Load after the first is an in-memory hit and the fork cost is just the
+// core rebuild.
+func benchCheckpointFork(b *testing.B, cacheBytes int64) {
+	prof, err := workload.ByName("cassandra")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := prof.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.DefaultConfig()
+	c.Seed = 1
+	c.Prefetcher = ipdip.New(ipdip.DefaultConfig())
+	co := core.MustNew(prog, c)
+	if err := co.Run(60_000); err != nil {
+		b.Fatal(err)
+	}
+	st, err := co.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := checkpoint.NewDir(b.TempDir(), cacheBytes)
+	if err := store.Save("warm", st); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := store.Load("warm"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := store.Load("warm")
+		if err != nil || got == nil {
+			b.Fatalf("load: (%v, %v)", got, err)
+		}
+		cf := c
+		cf.Prefetcher = ipdip.New(ipdip.DefaultConfig())
+		if _, err := core.NewFromSnapshot(prog, cf, got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointForkDisk(b *testing.B)   { benchCheckpointFork(b, -1) }
+func BenchmarkCheckpointForkCached(b *testing.B) { benchCheckpointFork(b, 0) }
 
 // BenchmarkGridWarmupReuse measures a grid of specs that share one warm
 // tuple through the runner's warm-state layer: one simulated warmup plus

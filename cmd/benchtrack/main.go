@@ -15,12 +15,16 @@
 // against a committed snapshot and exits nonzero when any benchmark's
 // ns/op regressed beyond -threshold (default 15%) — the CI guard that a
 // perf-sensitive change cannot silently slow the simulator down.
+// -threshold-for tightens (or loosens) the gate for rows matching a
+// regexp, so low-variance benchmarks can be held to a stricter budget
+// than the noisy end-to-end grids; the flag repeats, first match wins.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem | benchtrack -o BENCH_simulator.json
 //	go test -bench=Micro -benchmem | benchtrack        # JSON to stdout
 //	go test -bench=. -benchmem | benchtrack -diff BENCH_simulator.json
+//	... | benchtrack -diff BENCH_simulator.json -threshold-for '^BenchmarkCheckpoint=0.10'
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,10 +49,58 @@ type Entry struct {
 	SimCyclesPerSec float64 `json:"simcycles_per_sec,omitempty"`
 }
 
+// thresholdRule is one -threshold-for override: benchmarks whose name
+// matches re are gated at frac instead of the global -threshold.
+type thresholdRule struct {
+	re   *regexp.Regexp
+	frac float64
+}
+
+// thresholdRules implements flag.Value for the repeatable -threshold-for
+// flag. Rules apply in the order given; the first match wins.
+type thresholdRules []thresholdRule
+
+func (t *thresholdRules) String() string {
+	parts := make([]string, len(*t))
+	for i, r := range *t {
+		parts[i] = fmt.Sprintf("%s=%g", r.re, r.frac)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *thresholdRules) Set(s string) error {
+	i := strings.LastIndex(s, "=")
+	if i <= 0 {
+		return fmt.Errorf("bad -threshold-for %q: want <regexp>=<fraction>", s)
+	}
+	re, err := regexp.Compile(s[:i])
+	if err != nil {
+		return fmt.Errorf("bad -threshold-for pattern %q: %w", s[:i], err)
+	}
+	frac, err := strconv.ParseFloat(s[i+1:], 64)
+	if err != nil || frac < 0 {
+		return fmt.Errorf("bad -threshold-for fraction %q: want a non-negative number", s[i+1:])
+	}
+	*t = append(*t, thresholdRule{re: re, frac: frac})
+	return nil
+}
+
+// thresholdFor resolves the gate for one benchmark name.
+func (t thresholdRules) thresholdFor(name string, fallback float64) float64 {
+	for _, r := range t {
+		if r.re.MatchString(name) {
+			return r.frac
+		}
+	}
+	return fallback
+}
+
 func main() {
 	out := flag.String("o", "", "output path for the JSON snapshot (default: stdout)")
 	diff := flag.String("diff", "", "compare parsed results against this committed snapshot instead of writing one; exit nonzero on ns/op regression beyond -threshold")
 	threshold := flag.Float64("threshold", 0.15, "with -diff: maximum tolerated fractional ns/op regression (0.15 = 15%)")
+	var rules thresholdRules
+	flag.Var(&rules, "threshold-for", "with -diff: per-row override as <regexp>=<fraction>, e.g. '^BenchmarkCheckpoint=0.10' (repeatable; first match wins over -threshold)")
 	flag.Parse()
 
 	entries, err := parse(os.Stdin)
@@ -61,7 +114,7 @@ func main() {
 	}
 
 	if *diff != "" {
-		if err := diffSnapshot(entries, *diff, *threshold); err != nil {
+		if err := diffSnapshot(entries, *diff, *threshold, rules); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtrack:", err)
 			os.Exit(1)
 		}
@@ -96,11 +149,12 @@ func main() {
 
 // diffSnapshot compares fresh results against the snapshot at path and
 // returns an error when any benchmark present in both regressed in ns/op
-// by more than threshold. Benchmarks only on one side are reported but
-// never fail the gate (new benchmarks land with the PR that adds them;
-// removed ones disappear with theirs) — and timing noise in either
-// direction below the threshold is reported as ok.
-func diffSnapshot(entries map[string]Entry, path string, threshold float64) error {
+// by more than its threshold — the first matching -threshold-for rule,
+// falling back to the global value. Benchmarks only on one side are
+// reported but never fail the gate (new benchmarks land with the PR that
+// adds them; removed ones disappear with theirs) — and timing noise in
+// either direction below the threshold is reported as ok.
+func diffSnapshot(entries map[string]Entry, path string, threshold float64, rules thresholdRules) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -128,10 +182,11 @@ func diffSnapshot(entries map[string]Entry, path string, threshold float64) erro
 		if old.NsPerOp <= 0 {
 			continue
 		}
+		gate := rules.thresholdFor(name, threshold)
 		delta := (cur.NsPerOp - old.NsPerOp) / old.NsPerOp
 		status := "ok"
-		if delta > threshold {
-			status = "REGRESSION"
+		if delta > gate {
+			status = fmt.Sprintf("REGRESSION (beyond %.0f%%)", gate*100)
 			regressions = append(regressions, name)
 		}
 		fmt.Printf("%-48s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
@@ -148,10 +203,10 @@ func diffSnapshot(entries map[string]Entry, path string, threshold float64) erro
 		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% ns/op: %s",
-			len(regressions), threshold*100, strings.Join(regressions, ", "))
+		return fmt.Errorf("%d benchmark(s) regressed beyond their ns/op threshold: %s",
+			len(regressions), strings.Join(regressions, ", "))
 	}
-	fmt.Printf("benchtrack: no ns/op regression beyond %.0f%% across %d benchmarks\n", threshold*100, len(names))
+	fmt.Printf("benchtrack: no ns/op regression beyond threshold across %d benchmarks\n", len(names))
 	return nil
 }
 

@@ -43,6 +43,7 @@ func main() {
 		listP    = flag.Bool("list-policies", false, "print Table 3 policy registry and exit")
 		noFF     = flag.Bool("no-fast-forward", false, "step every cycle instead of fast-forwarding idle windows (metrics are bit-identical either way)")
 		ckDir    = flag.String("checkpoint-dir", "", "cache warm simulator states in this directory (content-addressed), so repeat invocations skip warmup")
+		ckGCMB   = flag.Int64("checkpoint-gc-mb", 0, "after the experiment, delete oldest checkpoints until -checkpoint-dir is under this many MiB (0 = never collect)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering every run to this path")
 		memProf  = flag.String("memprofile", "", "write a post-experiment heap profile to this path")
 		traceDir = flag.String("trace", "", "drive every run from ChampSim traces in this directory (<benchmark>.champsim or .champsim.gz) instead of the synthetic walker")
@@ -131,12 +132,18 @@ func main() {
 		return
 	}
 
-	runner := pdip.NewRunnerWithCheckpoints(*par, *ckDir)
+	var ck *pdip.CheckpointDir
+	if *ckDir != "" {
+		ck = pdip.NewCheckpointDir(*ckDir, 0)
+		defer gcCheckpoints(ck, *ckGCMB)
+	}
+	runner := pdip.NewRunnerWithDir(*par, ck)
 	var fleet *fabric.Fleet
 	if *fabricN > 0 {
 		// Route every cache-missing run through a localhost fleet whose
-		// workers share -checkpoint-dir; the experiment code is unchanged.
-		fleet = fabric.StartFleet(*fabricN, 1, *ckDir, fabric.Config{})
+		// workers share -checkpoint-dir's store; the experiment code is
+		// unchanged, and each warm tuple is decoded once per process.
+		fleet = fabric.StartFleetWithDir(*fabricN, 1, ck, fabric.Config{})
 		defer fleet.Close()
 		runner.SetExecutor(fleet.Exec)
 	}
@@ -218,8 +225,26 @@ func reportStats(runner *pdip.Runner, fleet *fabric.Fleet) {
 		return
 	}
 	fmt.Fprintf(os.Stderr,
-		"experiments: checkpoints: %d forked runs from %d simulated warmups (%d in-memory hits, %d disk hits, %d disk stores)\n",
-		ck.Forks, ck.WarmupsExecuted, ck.MemoryHits, ck.DiskHits, ck.DiskStores)
+		"experiments: checkpoints: %d forked runs from %d simulated warmups (%d in-memory hits, %d store-cache forks, %d disk hits, %d disk stores)\n",
+		ck.Forks, ck.WarmupsExecuted, ck.MemoryHits, ck.DirCacheHits, ck.DiskHits, ck.DiskStores)
+}
+
+// gcCheckpoints trims the warm-state store to maxMB mebibytes, oldest
+// checkpoints first, after the experiment's stores have landed. A zero
+// budget disables collection.
+func gcCheckpoints(ck *pdip.CheckpointDir, maxMB int64) {
+	if maxMB <= 0 {
+		return
+	}
+	n, freed, err := ck.GC(maxMB << 20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: checkpoint-gc:", err)
+		return
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: checkpoint-gc: removed %d checkpoints (%.1f MiB) from %s\n",
+			n, float64(freed)/(1<<20), ck.Path())
+	}
 }
 
 // dumpMetrics writes every memoised run's full metric snapshot to path as

@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"pdip/internal/checkpoint"
 	"pdip/internal/fabric"
 	"pdip/internal/harness"
 	"pdip/internal/workload"
@@ -55,9 +56,9 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  gridd run   -grid <file|fig10|smoke> [-workers N] [-parallel N] [-checkpoint-dir d] [-out f]
+  gridd run   -grid <file|fig10|smoke> [-workers N] [-parallel N] [-checkpoint-dir d] [-checkpoint-gc-mb N] [-out f]
   gridd serve -addr host:port -grid <file|fig10|smoke> [-shard i/n] [-out f]
-  gridd work  -connect host:port [-parallel N] [-name id] [-checkpoint-dir d]
+  gridd work  -connect host:port [-parallel N] [-name id] [-checkpoint-dir d] [-checkpoint-gc-mb N]
 `)
 	os.Exit(2)
 }
@@ -171,8 +172,25 @@ func reportStats(st fabric.Stats) {
 		st.Cells, st.Completed, st.Failed, st.Retries, st.Requeues, st.Workers)
 	ck := st.Runner.Checkpoint
 	fmt.Fprintf(os.Stderr,
-		"gridd: workers executed %d runs; checkpoints: %d forks from %d simulated warmups (%d memory hits, %d disk hits, %d disk stores)\n",
-		st.Runner.RunsExecuted, ck.Forks, ck.WarmupsExecuted, ck.MemoryHits, ck.DiskHits, ck.DiskStores)
+		"gridd: workers executed %d runs; checkpoints: %d forks from %d simulated warmups (%d memory hits, %d store-cache forks, %d disk hits, %d disk stores)\n",
+		st.Runner.RunsExecuted, ck.Forks, ck.WarmupsExecuted, ck.MemoryHits, ck.DirCacheHits, ck.DiskHits, ck.DiskStores)
+}
+
+// gcStore trims the warm-state store to maxMB mebibytes, oldest
+// checkpoints first. A zero budget disables collection.
+func gcStore(ck *checkpoint.Dir, maxMB int64) {
+	if ck == nil || maxMB <= 0 {
+		return
+	}
+	n, freed, err := ck.GC(maxMB << 20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridd: checkpoint-gc:", err)
+		return
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "gridd: checkpoint-gc: removed %d checkpoints (%.1f MiB) from %s\n",
+			n, float64(freed)/(1<<20), ck.Path())
+	}
 }
 
 // runCmd is the self-contained localhost mode: a coordinator plus
@@ -184,6 +202,7 @@ func runCmd(argv []string) error {
 	workers := fs.Int("workers", 2, "fleet size (0 = run the grid serially in-process)")
 	par := fs.Int("parallel", 1, "concurrent jobs per worker")
 	ckDir := fs.String("checkpoint-dir", "", "shared warm-state checkpoint directory (default: private temp dir)")
+	ckGCMB := fs.Int64("checkpoint-gc-mb", 0, "after the grid, delete oldest checkpoints until -checkpoint-dir is under this many MiB (0 = never collect)")
 	out := fs.String("out", "", "write the merged-grid JSON document here (default stdout)")
 	fs.Parse(argv)
 
@@ -200,10 +219,12 @@ func runCmd(argv []string) error {
 		defer os.RemoveAll(tmp)
 		dir = tmp
 	}
+	ck := checkpoint.NewDir(dir, 0)
+	defer gcStore(ck, *ckGCMB)
 
 	var results []*harness.RunResult
 	if *workers <= 0 {
-		runner := harness.NewRunnerWithCheckpoints(*par, dir)
+		runner := harness.NewRunnerWithDir(*par, ck)
 		results, err = runner.RunAll(specs)
 		if err != nil {
 			return err
@@ -211,7 +232,7 @@ func runCmd(argv []string) error {
 		s := runner.Stats()
 		fmt.Fprintf(os.Stderr, "gridd: serial: executed %d runs (%d cache hits)\n", s.RunsExecuted, s.CacheHits)
 	} else {
-		fleet := fabric.StartFleet(*workers, *par, dir, fabric.Config{})
+		fleet := fabric.StartFleetWithDir(*workers, *par, ck, fabric.Config{})
 		defer fleet.Close()
 		results, err = fleet.RunGrid(specs)
 		if err != nil {
@@ -269,6 +290,7 @@ func workCmd(argv []string) error {
 	par := fs.Int("parallel", 1, "concurrent jobs")
 	name := fs.String("name", "", "worker name in coordinator accounting (default host:pid)")
 	ckDir := fs.String("checkpoint-dir", "", "shared warm-state checkpoint directory")
+	ckGCMB := fs.Int64("checkpoint-gc-mb", 0, "after the coordinator drains this worker, delete oldest checkpoints until -checkpoint-dir is under this many MiB (0 = never collect)")
 	fs.Parse(argv)
 
 	if *connect == "" {
@@ -294,9 +316,14 @@ func workCmd(argv []string) error {
 		return fmt.Errorf("connect %s: %w", *connect, err)
 	}
 	fmt.Fprintf(os.Stderr, "gridd: worker %s serving %s (%d slots)\n", *name, *connect, *par)
+	var ck *checkpoint.Dir
+	if *ckDir != "" {
+		ck = checkpoint.NewDir(*ckDir, 0)
+		defer gcStore(ck, *ckGCMB)
+	}
 	w := &fabric.Worker{
 		Name:   *name,
-		Runner: harness.NewRunnerWithCheckpoints(*par, *ckDir),
+		Runner: harness.NewRunnerWithDir(*par, ck),
 		Slots:  *par,
 	}
 	return w.Run(conn)

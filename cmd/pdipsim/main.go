@@ -43,6 +43,7 @@ func main() {
 		printCfg = flag.Bool("print-config", false, "print the Table 1 baseline configuration and exit")
 		noFF     = flag.Bool("no-fast-forward", false, "step every cycle instead of fast-forwarding idle windows (metrics are bit-identical either way)")
 		ckDir    = flag.String("checkpoint-dir", "", "cache the warm simulator state in this directory (content-addressed), so repeat invocations skip warmup")
+		ckGCMB   = flag.Int64("checkpoint-gc-mb", 0, "after the run, delete oldest checkpoints until -checkpoint-dir is under this many MiB (0 = never collect)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile for the run to this path")
 		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this path")
 		tracePth = flag.String("trace", "", "drive the run from this ChampSim trace (raw or .gz) instead of walking the synthetic CFG")
@@ -151,7 +152,16 @@ func main() {
 	if *ckDir != "" {
 		// Route through the warm-state layer so the warmup checkpoint is
 		// loaded from (or stored into) the cross-process cache.
-		res, err = pdip.NewRunnerWithCheckpoints(1, *ckDir).Run(spec)
+		ck := pdip.NewCheckpointDir(*ckDir, 0)
+		res, err = pdip.NewRunnerWithDir(1, ck).Run(spec)
+		if err == nil && *ckGCMB > 0 {
+			if n, freed, gcErr := ck.GC(*ckGCMB << 20); gcErr != nil {
+				fmt.Fprintln(os.Stderr, "pdipsim: checkpoint-gc:", gcErr)
+			} else if n > 0 {
+				fmt.Fprintf(os.Stderr, "pdipsim: checkpoint-gc: removed %d checkpoints (%.1f MiB) from %s\n",
+					n, float64(freed)/(1<<20), *ckDir)
+			}
+		}
 	} else {
 		res, err = pdip.Run(spec)
 	}

@@ -20,23 +20,21 @@
 //     builds a fresh core and copies the state in. One snapshot can be
 //     forked concurrently — Restore implementations only read the state
 //     and never alias its slices.
-//   - On-disk cache: Encode/Decode wrap the state in gzip'd JSON with a
-//     format version, and Save/Load manage a content-addressed directory
-//     keyed by a config+workload hash (see Key).
+//   - On-disk cache: Encode/Decode frame the state in the versioned
+//     binary columnar wire format (checkpoint_binary.go), and Dir/Save/
+//     Load manage a content-addressed directory keyed by a config+workload
+//     hash (see Key). Decode sniffs the stream and still reads the legacy
+//     gzip+JSON format (checkpoint_legacy.go) for old directory contents.
 package checkpoint
 
 import (
-	"compress/gzip"
-	"encoding/json"
-	"fmt"
-	"io"
-
 	"pdip/internal/isa"
 )
 
-// FormatVersion identifies the state layout. Bump it whenever a captured
-// struct changes shape or meaning — stale on-disk checkpoints then miss
-// (they are keyed by version) instead of restoring garbage.
+// FormatVersion identifies the state layout and wire format. Bump it
+// whenever a captured struct changes shape or meaning — stale on-disk
+// checkpoints then miss (they are keyed by version) instead of restoring
+// garbage.
 //
 // Version history: 1 = original format (IAGState held WalkerState
 // directly); 2 = instruction sources became a tagged union (SourceState),
@@ -44,8 +42,18 @@ import (
 // 3 = multi-tenant sockets: CacheState grew per-owner attribution columns
 // (Owner/InflightOwner/Owners), HierarchyState grew the Shared flag (a
 // core-private hierarchy skips the uncore-owned L2/L3), and SocketState
-// captures an N-core socket with the shared uncore recorded once.
-const FormatVersion = 3
+// captures an N-core socket with the shared uncore recorded once;
+// 4 = the wire format switched from gzip+JSON to the binary columnar
+// codec (same state layout as 3 — legacy version-3 JSON streams are
+// sniffed and decoded by the retained legacy decoder).
+const FormatVersion = 4
+
+// legacyJSONVersion is the newest state-layout version the retained
+// gzip+JSON decoder accepts. Layouts 3 and 4 are field-identical (4 only
+// changed the wire encoding), so a sniffed legacy stream at version 3
+// decodes into the current structs and is stamped FormatVersion on the
+// way out.
+const legacyJSONVersion = 3
 
 // State is the complete simulator state at one cycle boundary.
 type State struct {
@@ -676,79 +684,4 @@ type UncoreState struct {
 	// Metrics holds the uncore registry's owned values (per-tenant traffic
 	// counters; the interference counter funcs restore with the caches).
 	Metrics RegistryState
-}
-
-// EncodeSocket writes a socket state as gzip-compressed JSON, with the
-// same determinism contract as Encode.
-func EncodeSocket(w io.Writer, st *SocketState) error {
-	zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
-	if err != nil {
-		return fmt.Errorf("checkpoint: encode socket: %w", err)
-	}
-	if err := json.NewEncoder(zw).Encode(st); err != nil {
-		zw.Close()
-		return fmt.Errorf("checkpoint: encode socket: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return fmt.Errorf("checkpoint: encode socket: %w", err)
-	}
-	return nil
-}
-
-// DecodeSocket reads a socket state previously written by EncodeSocket.
-func DecodeSocket(r io.Reader) (*SocketState, error) {
-	zr, err := gzip.NewReader(r)
-	if err != nil {
-		return nil, fmt.Errorf("checkpoint: decode socket: %w", err)
-	}
-	defer zr.Close()
-	var st SocketState
-	if err := json.NewDecoder(zr).Decode(&st); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode socket: %w", err)
-	}
-	if st.Version != FormatVersion {
-		return nil, fmt.Errorf("checkpoint: socket format version %d, want %d", st.Version, FormatVersion)
-	}
-	return &st, nil
-}
-
-// Encode writes st to w as gzip-compressed JSON. Go's encoding/json
-// renders struct fields in declaration order and the state structs hold
-// no maps, so identical states encode to identical bytes — the property
-// content addressing relies on.
-func Encode(w io.Writer, st *State) error {
-	// BestSpeed: default compression spends ~4x the CPU for ~25% smaller
-	// output, and encode time is on the critical path of every cold
-	// checkpoint store. Warm states are throwaway cache entries, not
-	// archives — trade bytes for latency.
-	zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
-	if err != nil {
-		return fmt.Errorf("checkpoint: encode: %w", err)
-	}
-	if err := json.NewEncoder(zw).Encode(st); err != nil {
-		zw.Close()
-		return fmt.Errorf("checkpoint: encode: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return fmt.Errorf("checkpoint: encode: %w", err)
-	}
-	return nil
-}
-
-// Decode reads a state previously written by Encode. A version mismatch
-// is an error: the caller treats it as a cache miss and re-warms.
-func Decode(r io.Reader) (*State, error) {
-	zr, err := gzip.NewReader(r)
-	if err != nil {
-		return nil, fmt.Errorf("checkpoint: decode: %w", err)
-	}
-	defer zr.Close()
-	var st State
-	if err := json.NewDecoder(zr).Decode(&st); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode: %w", err)
-	}
-	if st.Version != FormatVersion {
-		return nil, fmt.Errorf("checkpoint: format version %d, want %d", st.Version, FormatVersion)
-	}
-	return &st, nil
 }

@@ -1,0 +1,113 @@
+// Legacy gzip+JSON wire format (FormatVersion ≤ 3). Retained read-only:
+// Decode/DecodeSocket sniff the gzip magic and fall back here so a
+// -checkpoint-dir populated before the binary codec still serves warm
+// states. New writes always use the binary format (checkpoint_binary.go).
+// encodeLegacyJSON survives unexported for the migration round-trip test.
+package checkpoint
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// legacyMagic is the gzip stream magic; every legacy checkpoint starts
+// with it, and the binary format's magic deliberately differs in byte 0.
+var legacyMagic = [2]byte{0x1f, 0x8b}
+
+func isLegacy(b []byte) bool {
+	return len(b) >= 2 && b[0] == legacyMagic[0] && b[1] == legacyMagic[1]
+}
+
+// acceptLegacyVersion maps an on-wire legacy version to the current
+// FormatVersion. Layout 3 is field-identical to 4 (the bump was
+// wire-format only), so it decodes into the current structs unchanged.
+func acceptLegacyVersion(v int) (int, error) {
+	if v != legacyJSONVersion {
+		return 0, fmt.Errorf("checkpoint: legacy format version %d, want %d", v, legacyJSONVersion)
+	}
+	return FormatVersion, nil
+}
+
+// encodeLegacyJSON writes st in the pre-binary gzip+JSON wire format,
+// stamped with the legacy layout version. Only tests call it: it exists
+// so the migration test can fabricate "old directory contents" without
+// checking in binary fixtures.
+func encodeLegacyJSON(w io.Writer, st *State) error {
+	old := st.Version
+	st.Version = legacyJSONVersion
+	defer func() { st.Version = old }()
+	zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode legacy: %w", err)
+	}
+	if err := json.NewEncoder(zw).Encode(st); err != nil {
+		zw.Close()
+		return fmt.Errorf("checkpoint: encode legacy: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("checkpoint: encode legacy: %w", err)
+	}
+	return nil
+}
+
+// encodeLegacySocketJSON is the socket-level analogue of encodeLegacyJSON.
+func encodeLegacySocketJSON(w io.Writer, st *SocketState) error {
+	old := st.Version
+	st.Version = legacyJSONVersion
+	defer func() { st.Version = old }()
+	zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode legacy socket: %w", err)
+	}
+	if err := json.NewEncoder(zw).Encode(st); err != nil {
+		zw.Close()
+		return fmt.Errorf("checkpoint: encode legacy socket: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("checkpoint: encode legacy socket: %w", err)
+	}
+	return nil
+}
+
+// decodeLegacy reads a gzip+JSON state stream and normalizes its version
+// to the current FormatVersion.
+func decodeLegacy(b []byte) (*State, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	defer zr.Close()
+	var st State
+	if err := json.NewDecoder(zr).Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	v, err := acceptLegacyVersion(st.Version)
+	if err != nil {
+		return nil, err
+	}
+	st.Version = v
+	return &st, nil
+}
+
+// decodeLegacySocket reads a gzip+JSON socket stream and normalizes its
+// version to the current FormatVersion.
+func decodeLegacySocket(b []byte) (*SocketState, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: decode socket: %w", err)
+	}
+	defer zr.Close()
+	var st SocketState
+	if err := json.NewDecoder(zr).Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode socket: %w", err)
+	}
+	v, err := acceptLegacyVersion(st.Version)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: socket: %w", err)
+	}
+	st.Version = v
+	return &st, nil
+}

@@ -1,0 +1,262 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDirLoadSaveCache covers the store's fast path: a miss before any
+// Save, a Save that installs the decoded state, and a Load served from
+// memory — returning the very same *State, not a re-decode.
+func TestDirLoadSaveCache(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDir(dir, 0)
+	st := sampleState()
+
+	if got, cached, err := d.Load("k1"); got != nil || cached || err != nil {
+		t.Fatalf("load before save = (%v, %v, %v), want (nil, false, nil)", got, cached, err)
+	}
+	if err := d.Save("k1", st); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k1"+ckptSuffix)); err != nil {
+		t.Fatalf("save left no %s file: %v", ckptSuffix, err)
+	}
+	got, cached, err := d.Load("k1")
+	if err != nil || !cached {
+		t.Fatalf("load after save = (cached=%v, err=%v), want a memory hit", cached, err)
+	}
+	if got != st {
+		t.Error("memory hit returned a different *State than the one saved (re-decoded instead of cached)")
+	}
+	s := d.Stats()
+	want := DirStats{CacheHits: 1, Misses: 1, Stores: 1}
+	if s != want {
+		t.Errorf("stats = %+v, want %+v", s, want)
+	}
+
+	// A fresh Dir over the same directory models the next process: first
+	// Load pays the disk decode, the second is a memory hit.
+	d2 := NewDir(dir, 0)
+	got2, cached2, err := d2.Load("k1")
+	if err != nil || cached2 {
+		t.Fatalf("cold load = (cached=%v, err=%v), want a disk hit", cached2, err)
+	}
+	if !reflect.DeepEqual(st, got2) {
+		t.Error("disk round trip through Dir is lossy")
+	}
+	if _, cached3, _ := d2.Load("k1"); !cached3 {
+		t.Error("second load of a disk-hit key was not served from memory")
+	}
+	if s := d2.Stats(); s.DiskHits != 1 || s.CacheHits != 1 {
+		t.Errorf("cold-dir stats = %+v, want 1 disk hit + 1 cache hit", s)
+	}
+}
+
+// TestDirCacheDisabled pins the cacheBytes < 0 contract: every Load
+// decodes from disk, nothing is retained.
+func TestDirCacheDisabled(t *testing.T) {
+	d := NewDir(t.TempDir(), -1)
+	if err := d.Save("k", sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		st, cached, err := d.Load("k")
+		if err != nil || st == nil || cached {
+			t.Fatalf("load %d = (%v, cached=%v, err=%v), want an uncached disk hit", i, st, cached, err)
+		}
+	}
+	if s := d.Stats(); s.DiskHits != 2 || s.CacheHits != 0 {
+		t.Errorf("stats = %+v, want 2 disk hits and no cache hits", s)
+	}
+}
+
+// TestDirEviction bounds the cache to less than two entries' cost and
+// checks LRU order: inserting a second state evicts the first (never the
+// entry just inserted), and the evicted key falls back to disk.
+func TestDirEviction(t *testing.T) {
+	dir := t.TempDir()
+	probe := NewDir(dir, 0)
+	if err := probe.Save("a", sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, "a"+ckptSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := info.Size()
+
+	d := NewDir(dir, cost+cost/2) // room for one entry, not two
+	if err := d.Save("a", sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save("b", sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Stats(); s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want exactly one eviction", s)
+	}
+	if _, cached, _ := d.Load("b"); !cached {
+		t.Error("most recent entry was evicted instead of the LRU one")
+	}
+	if st, cached, err := d.Load("a"); st == nil || cached || err != nil {
+		t.Errorf("evicted key load = (%v, cached=%v, err=%v), want an uncached disk hit", st, cached, err)
+	}
+}
+
+// TestDirSingleflight hammers one cold key from many goroutines: the
+// disk decode must happen exactly once, with every caller getting the
+// same decoded state back.
+func TestDirSingleflight(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, "k", sampleState()); err != nil { // package Save: nothing cached yet
+		t.Fatal(err)
+	}
+	d := NewDir(dir, 0)
+	const callers = 16
+	states := make([]*State, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, _, err := d.Load("k")
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			states[i] = st
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range states {
+		if st == nil {
+			t.Fatalf("caller %d got no state", i)
+		}
+		if st != states[0] {
+			t.Fatalf("caller %d decoded a private copy — singleflight did not share", i)
+		}
+	}
+	if s := d.Stats(); s.DiskHits != 1 || s.CacheHits != callers-1 || s.Misses != 0 {
+		t.Errorf("stats = %+v, want 1 disk hit and %d cache hits", s, callers-1)
+	}
+}
+
+// TestDirLegacyFile plants a legacy gzip+JSON checkpoint under the old
+// .ckpt.gz suffix: Dir.Load must find it, sniff it, and migrate it to the
+// current version in memory.
+func TestDirLegacyFile(t *testing.T) {
+	dir := t.TempDir()
+	st := sampleState()
+	var buf bytes.Buffer
+	if err := encodeLegacyJSON(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "old"+ckptLegacySuffix), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDir(dir, 0)
+	got, cached, err := d.Load("old")
+	if err != nil || got == nil || cached {
+		t.Fatalf("legacy load = (%v, cached=%v, err=%v), want an uncached disk hit", got, cached, err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Error("legacy on-disk checkpoint decoded lossily through Dir")
+	}
+}
+
+// TestDirCorruptFile pins the corrupt-file contract: Load surfaces the
+// decode error but counts a miss, so the caller re-warms and overwrites.
+func TestDirCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad"+ckptSuffix), []byte("PDCKgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDir(dir, 0)
+	st, cached, err := d.Load("bad")
+	if st != nil || cached || err == nil {
+		t.Fatalf("corrupt load = (%v, cached=%v, err=%v), want (nil, false, error)", st, cached, err)
+	}
+	if s := d.Stats(); s.Misses != 1 {
+		t.Errorf("stats = %+v, want the corrupt load counted as a miss", s)
+	}
+}
+
+// TestDirGC fills a directory past a byte budget with files of staggered
+// mtimes and requires the oldest to go first, foreign files to survive,
+// and a no-op when already under budget.
+func TestDirGC(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDir(dir, 0)
+	keys := []string{"k0", "k1", "k2", "k3"}
+	var sizes []int64
+	base := time.Unix(1_700_000_000, 0)
+	for i, k := range keys {
+		if err := d.Save(k, sampleState()); err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, k+ckptSuffix)
+		// Pin mtimes explicitly so the LRU order under test is exact, not
+		// a race against file-system timestamp granularity.
+		mt := base.Add(time.Duration(i) * time.Hour)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+	}
+	foreign := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(foreign, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	if n, freed, err := d.GC(total); n != 0 || freed != 0 || err != nil {
+		t.Fatalf("GC under budget = (%d, %d, %v), want a no-op", n, freed, err)
+	}
+
+	// Budget for the two newest files: the two oldest must be removed.
+	budget := sizes[2] + sizes[3]
+	n, freed, err := d.GC(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || freed != sizes[0]+sizes[1] {
+		t.Errorf("GC removed %d files (%d bytes), want 2 oldest (%d bytes)", n, freed, sizes[0]+sizes[1])
+	}
+	for i, k := range keys {
+		_, err := os.Stat(filepath.Join(dir, k+ckptSuffix))
+		if gone := os.IsNotExist(err); gone != (i < 2) {
+			t.Errorf("after GC, %s exists=%v — oldest-first order violated", k, !gone)
+		}
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Errorf("GC removed a non-checkpoint file: %v", err)
+	}
+
+	// The in-memory cache still serves a key whose file was collected.
+	if _, cached, _ := d.Load("k0"); !cached {
+		t.Error("GC invalidated the in-memory cache entry for a collected file")
+	}
+
+	// A directory that was never created is an empty store, not an error.
+	if n, freed, err := NewDir(filepath.Join(dir, "never-created"), 0).GC(1); n != 0 || freed != 0 || err != nil {
+		t.Errorf("GC on a missing directory = (%d, %d, %v), want (0, 0, nil)", n, freed, err)
+	}
+}

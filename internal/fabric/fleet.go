@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"pdip/internal/checkpoint"
 	"pdip/internal/harness"
 )
 
@@ -16,32 +17,48 @@ type Fleet struct {
 	Coordinator *Coordinator
 	workers     []*Worker
 	conns       []net.Conn // coordinator-side ends
+	ck          *checkpoint.Dir
 	wg          sync.WaitGroup
 }
 
 // StartFleet launches a coordinator and n in-process workers (slots
-// concurrent jobs each). Every worker gets its own Runner sharing the
-// checkpoint directory ckdir — warm state crosses workers only through
-// the coordinator's leases plus the content-addressed store, exactly as
-// it would between separate machines.
+// concurrent jobs each), sharing the checkpoint directory ckdir.
 func StartFleet(n, slots int, ckdir string, cfg Config) *Fleet {
+	var ck *checkpoint.Dir
+	if ckdir != "" {
+		ck = checkpoint.NewDir(ckdir, 0)
+	}
+	return StartFleetWithDir(n, slots, ck, cfg)
+}
+
+// StartFleetWithDir is StartFleet over an existing checkpoint store.
+// Every worker gets its own Runner over the shared store: warm-once
+// scheduling crosses workers through the coordinator's leases plus the
+// content-addressed directory, exactly as it would between separate
+// machines — but because in-process workers share one Dir, each tuple's
+// checkpoint is decoded once and every other worker forks it from the
+// store's in-memory cache.
+func StartFleetWithDir(n, slots int, ck *checkpoint.Dir, cfg Config) *Fleet {
 	if n < 1 {
 		n = 1
 	}
 	if slots < 1 {
 		slots = 1
 	}
-	f := &Fleet{Coordinator: NewCoordinator(cfg)}
+	f := &Fleet{Coordinator: NewCoordinator(cfg), ck: ck}
 	for i := 0; i < n; i++ {
 		w := &Worker{
 			Name:   fmt.Sprintf("w%d", i+1),
-			Runner: harness.NewRunnerWithCheckpoints(slots, ckdir),
+			Runner: harness.NewRunnerWithDir(slots, ck),
 			Slots:  slots,
 		}
 		f.AddWorker(w)
 	}
 	return f
 }
+
+// CheckpointDir returns the store the fleet's workers share, or nil.
+func (f *Fleet) CheckpointDir() *checkpoint.Dir { return f.ck }
 
 // AddWorker connects w to the fleet's coordinator over an in-process
 // pipe and starts serving it.

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"pdip/internal/checkpoint"
 )
 
 // forkEquals runs spec through the runner's warm-fork path and through
@@ -170,5 +172,48 @@ func TestCheckpointDiskCache(t *testing.T) {
 	}
 	if s := r2.CheckpointStats(); s.WarmupsExecuted != 1 || s.DiskStores != 1 {
 		t.Errorf("changed-tuple runner: %+v (want the changed tuple to warm and store fresh)", s)
+	}
+}
+
+// TestCheckpointSharedDirCache exercises the in-process layer the fleet
+// relies on: runners sharing one checkpoint.Dir must serve each other's
+// warm states from the store's decoded-state cache — counted as
+// DirCacheHits, with the disk never re-read — and stay bit-identical.
+func TestCheckpointSharedDirCache(t *testing.T) {
+	ck := checkpoint.NewDir(t.TempDir(), 0)
+	o := QuickOptions()
+	spec := o.spec("kafka", "eip46")
+
+	r1 := NewRunnerWithDir(2, ck)
+	a, err := r1.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r1.CheckpointStats(); s.WarmupsExecuted != 1 || s.DiskStores != 1 || s.DirCacheHits != 0 {
+		t.Errorf("warming runner: %+v (want 1 warmup, 1 store, 0 cache forks)", s)
+	}
+
+	r2 := NewRunnerWithDir(2, ck)
+	b, err := r2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r2.CheckpointStats(); s.WarmupsExecuted != 0 || s.DirCacheHits != 1 || s.DiskHits != 0 {
+		t.Errorf("sibling runner: %+v (want 0 warmups, 1 cache fork, 0 disk hits)", s)
+	}
+	if diff := a.Metrics.Diff(b.Metrics); len(diff) > 0 {
+		t.Errorf("%d metrics differ between simulated-warmup and cache-forked runs:\n  %s",
+			len(diff), strings.Join(diff[:min(len(diff), 20)], "\n  "))
+	}
+	if ds := ck.Stats(); ds.CacheHits != 1 || ds.Stores != 1 {
+		t.Errorf("store stats: %+v (want the sibling's load counted as a cache hit)", ds)
+	}
+
+	// The aggregate report the fabric coordinator builds must carry the
+	// new counter through RunnerStats.Add.
+	sum := r1.Stats()
+	sum.Add(r2.Stats())
+	if sum.Checkpoint.DirCacheHits != 1 || sum.Checkpoint.WarmupsExecuted != 1 {
+		t.Errorf("aggregated stats: %+v (want the cache fork to survive aggregation)", sum.Checkpoint)
 	}
 }

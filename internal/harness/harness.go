@@ -218,6 +218,7 @@ func (s *RunnerStats) Add(o RunnerStats) {
 	s.Checkpoint.Forks += o.Checkpoint.Forks
 	s.Checkpoint.WarmupsExecuted += o.Checkpoint.WarmupsExecuted
 	s.Checkpoint.MemoryHits += o.Checkpoint.MemoryHits
+	s.Checkpoint.DirCacheHits += o.Checkpoint.DirCacheHits
 	s.Checkpoint.DiskHits += o.Checkpoint.DiskHits
 	s.Checkpoint.DiskStores += o.Checkpoint.DiskStores
 }
@@ -228,10 +229,18 @@ type CheckpointStats struct {
 	Forks uint64
 	// WarmupsExecuted counts warmups actually simulated.
 	WarmupsExecuted uint64
-	// MemoryHits counts warm states served from the in-process cache
-	// (including singleflight waiters who blocked on a leader's warmup).
+	// MemoryHits counts warm states served from this runner's own warm
+	// cache (including singleflight waiters who blocked on a leader's
+	// warmup).
 	MemoryHits uint64
-	// DiskHits and DiskStores count -checkpoint-dir cache traffic.
+	// DirCacheHits counts warm states served already-decoded from the
+	// checkpoint store's in-memory cache — no disk read, no decode. With
+	// several runners sharing one Dir (fleet workers), these are forks
+	// that skipped the disk entirely because a sibling had already paid
+	// for the decode.
+	DirCacheHits uint64
+	// DiskHits counts warm states read and decoded from the on-disk
+	// -checkpoint-dir store; DiskStores counts warm states written to it.
 	DiskHits   uint64
 	DiskStores uint64
 }
@@ -253,15 +262,17 @@ type Runner struct {
 	// runs: the spec is handed to it (the fabric fleet's submit path)
 	// and the returned result is memoised exactly as a local one.
 	executor func(RunSpec) (*RunResult, error)
-	// checkpointDir, when non-empty, is the content-addressed on-disk
-	// checkpoint cache shared across processes.
-	checkpointDir string
-	sem           chan struct{}
+	// ck, when non-nil, is the content-addressed checkpoint store: the
+	// on-disk directory shared across processes, fronted by its decoded
+	// in-memory cache (shared across every Runner holding the same Dir —
+	// fleet workers in one process fork each tuple's decode exactly once).
+	ck  *checkpoint.Dir
+	sem chan struct{}
 }
 
 // NewRunner returns a Runner bounded to parallelism concurrent runs.
 func NewRunner(parallelism int) *Runner {
-	return NewRunnerWithCheckpoints(parallelism, "")
+	return NewRunnerWithDir(parallelism, nil)
 }
 
 // NewRunnerWithCheckpoints returns a Runner that additionally persists
@@ -269,18 +280,33 @@ func NewRunner(parallelism int) *Runner {
 // configuration + format version), so repeat process invocations skip
 // warmup entirely. An empty dir keeps checkpoints in memory only.
 func NewRunnerWithCheckpoints(parallelism int, dir string) *Runner {
+	var ck *checkpoint.Dir
+	if dir != "" {
+		ck = checkpoint.NewDir(dir, 0)
+	}
+	return NewRunnerWithDir(parallelism, ck)
+}
+
+// NewRunnerWithDir is NewRunnerWithCheckpoints over an existing store —
+// the form that lets several Runners (the fabric fleet's workers) share
+// one decoded-state cache. A nil ck keeps checkpoints in memory only.
+func NewRunnerWithDir(parallelism int, ck *checkpoint.Dir) *Runner {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		cache:         make(map[RunSpec]*RunResult),
-		errs:          make(map[RunSpec]error),
-		inflight:      make(map[RunSpec]*call),
-		warm:          make(map[warmKey]*warmCall),
-		checkpointDir: dir,
-		sem:           make(chan struct{}, parallelism),
+		cache:    make(map[RunSpec]*RunResult),
+		errs:     make(map[RunSpec]error),
+		inflight: make(map[RunSpec]*call),
+		warm:     make(map[warmKey]*warmCall),
+		ck:       ck,
+		sem:      make(chan struct{}, parallelism),
 	}
 }
+
+// CheckpointDir returns the checkpoint store this runner persists warm
+// states through, or nil when checkpoints stay in memory only.
+func (r *Runner) CheckpointDir() *checkpoint.Dir { return r.ck }
 
 // CheckpointStats returns a snapshot of the warm-state reuse counters.
 func (r *Runner) CheckpointStats() CheckpointStats {
@@ -409,14 +435,18 @@ func (r *Runner) buildWarmState(wk warmKey) (*checkpoint.State, error) {
 	// configuration, not the bytes of an arbitrary trace file, so
 	// trace-driven warm states stay in memory only.
 	var key string
-	if r.checkpointDir != "" && wspec.TracePath == "" {
+	if r.ck != nil && wspec.TracePath == "" {
 		key, err = diskKey(wspec, c)
 		if err != nil {
 			return nil, err
 		}
-		if st, err := checkpoint.Load(r.checkpointDir, key); err == nil {
+		if st, cached, _ := r.ck.Load(key); st != nil {
 			r.mu.Lock()
-			r.ckStats.DiskHits++
+			if cached {
+				r.ckStats.DirCacheHits++
+			} else {
+				r.ckStats.DiskHits++
+			}
 			r.mu.Unlock()
 			return st, nil
 		}
@@ -446,7 +476,7 @@ func (r *Runner) buildWarmState(wk warmKey) (*checkpoint.State, error) {
 	r.mu.Unlock()
 
 	if key != "" {
-		if err := checkpoint.Save(r.checkpointDir, key, st); err != nil {
+		if err := r.ck.Save(key, st); err != nil {
 			return nil, err
 		}
 		r.mu.Lock()

@@ -432,6 +432,14 @@ func (a *CheckpointCoverage) checkMirror(prog *Program, rep *Reporter, refWrites
 		if !ok || tn.IsAlias() {
 			continue
 		}
+		// The mirror tree is what the serialization files (checkpoint.go,
+		// checkpoint_*.go) declare. The package also hosts the store's
+		// host-side machinery (Dir's cache bookkeeping, codec scratch
+		// state), whose structs are not wire format and are never written
+		// by capture code.
+		if !isCheckpointFile(prog.Fset.Position(tn.Pos()).Filename) {
+			continue
+		}
 		named, ok := tn.Type().(*types.Named)
 		if !ok {
 			continue

@@ -1,0 +1,62 @@
+// Package codec is the corpus stand-in for the binary checkpoint codec:
+// a byte-oriented encoder whose output is content-addressed, so every
+// serialized byte must be stable across runs. The file is named
+// checkpoint_*.go, putting it under the strict serialization rule — a
+// range over a map may only collect keys for sorting; writing into the
+// encoder in iteration order must flag even where the general rule would
+// accept it.
+package codec
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// enc is a minimal columnar section encoder.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u64(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// EncodeSorted is the sanctioned shape: collect the keys, sort them, then
+// emit the columns by indexing the map in sorted order. Must pass.
+func EncodeSorted(e *enc, set map[uint64]uint64) {
+	keys := make([]uint64, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.u64(uint64(len(keys)))
+	for _, k := range keys {
+		e.u64(k)
+		e.u64(set[k])
+	}
+}
+
+// EncodeUnsorted writes entries straight into the encoder in map
+// iteration order: the serialized bytes would differ run to run, and the
+// content address with them.
+func EncodeUnsorted(e *enc, set map[uint64]uint64) {
+	e.u64(uint64(len(set)))
+	for k, v := range set {
+		e.u64(k) // want:determinism
+		e.u64(v) // want:determinism
+	}
+}
+
+// EncodeCollectedUnsorted collects the keys like the sanctioned idiom but
+// never sorts them before the emit loop — same nondeterministic bytes,
+// one step removed.
+func EncodeCollectedUnsorted(e *enc, set map[uint64]uint64) {
+	var keys []uint64
+	for k := range set {
+		keys = append(keys, k) // want:determinism
+	}
+	for _, k := range keys {
+		e.u64(k)
+		e.u64(set[k])
+	}
+}

@@ -21,6 +21,7 @@ package pdip
 
 import (
 	"pdip/internal/cfg"
+	"pdip/internal/checkpoint"
 	"pdip/internal/core"
 	"pdip/internal/harness"
 	"pdip/internal/metrics"
@@ -131,6 +132,32 @@ func NewRunner(n int) *Runner { return harness.NewRunner(n) }
 // skip warmup entirely. An empty dir keeps warm states in memory only.
 func NewRunnerWithCheckpoints(n int, dir string) *Runner {
 	return harness.NewRunnerWithCheckpoints(n, dir)
+}
+
+// CheckpointDir is a content-addressed on-disk warm-state store fronted
+// by a size-bounded in-memory cache of decoded states, so repeated forks
+// of the same warm tuple pay the binary decode once per process rather
+// than once per run.
+type CheckpointDir = checkpoint.Dir
+
+// CheckpointDirStats is a CheckpointDir's cache accounting (memory hits,
+// disk hits, misses, stores, evictions).
+type CheckpointDirStats = checkpoint.DirStats
+
+// NewCheckpointDir opens the warm-state store rooted at path. cacheBytes
+// bounds the in-memory decoded-state cache (0 selects the default of
+// 256 MiB; negative disables caching). The directory is created lazily
+// on first Save.
+func NewCheckpointDir(path string, cacheBytes int64) *CheckpointDir {
+	return checkpoint.NewDir(path, cacheBytes)
+}
+
+// NewRunnerWithDir returns a runner over an existing checkpoint store.
+// Several runners may share one store — fleet workers started in the
+// same process do, so each warm tuple is decoded once and every sibling
+// forks it from memory.
+func NewRunnerWithDir(n int, ck *CheckpointDir) *Runner {
+	return harness.NewRunnerWithDir(n, ck)
 }
 
 // DefaultOptions returns the standard experiment scale.
